@@ -1,0 +1,40 @@
+// Extension-lock comparison (beyond the paper's six): backoff TAS and the
+// two-level cohort lock next to the paper's spinlocks on the simulated
+// Xeon. The related-work predictions to check:
+//   * backoff rescues TAS from its atomic storm (Anderson '90): TAS-BO
+//     should land between TAS and TTAS or better;
+//   * cohort handovers avoid cross-socket transfers (Dice et al. '12):
+//     COHORT should beat TICKET under contention while remaining fair
+//     enough to avoid MUTEXEE-scale tails.
+#include "bench/bench_common.hpp"
+#include "src/sim/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+
+  const std::vector<std::string> locks = {"TAS", "TAS-BO", "TTAS", "TICKET", "COHORT", "MCS"};
+  TextTable tput({"threads", "TAS", "TAS-BO", "TTAS", "TICKET", "COHORT", "MCS"});
+  TextTable tpp({"threads", "TAS", "TAS-BO", "TTAS", "TICKET", "COHORT", "MCS"});
+  for (int threads : {4, 10, 20, 30, 40}) {
+    std::vector<double> tput_row;
+    std::vector<double> tpp_row;
+    for (const std::string& lock : locks) {
+      WorkloadConfig config;
+      config.threads = threads;
+      config.cs_cycles = 1000;
+      config.non_cs_cycles = 100;
+      config.duration_cycles = options.quick ? 14'000'000 : 28'000'000;
+      const WorkloadResult r = RunLockWorkload(lock, config);
+      tput_row.push_back(r.ThroughputM());
+      tpp_row.push_back(r.TppK());
+    }
+    tput.AddNumericRow(std::to_string(threads), tput_row, 3);
+    tpp.AddNumericRow(std::to_string(threads), tpp_row, 2);
+  }
+  EmitTable(tput, options,
+            "Extension locks: throughput, Macq/s (expected: TAS-BO > TAS; COHORT >= "
+            "TICKET under contention)");
+  EmitTable(tpp, options, "Extension locks: TPP, Kacq/Joule");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 2: power-consumption breakdown on Xeon.
+//
+// Paper: total/package/cores/DRAM power of a memory-intensive benchmark vs
+// the number of active hyper-threads, at the minimum and maximum
+// voltage-frequency settings. Expected shape: 55.5 W idle; a 13.6 W step
+// when the first core of a socket wakes (max VF); a knee at 20 threads when
+// hyper-thread sharing begins; DRAM up to ~74 W, package up to ~132 W.
+#include "bench/bench_common.hpp"
+#include "src/sim/waiting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const PowerModel model(Topology::PaperXeon(), PowerParams::PaperXeon());
+
+  for (const VfSetting vf : {VfSetting::kMin, VfSetting::kMax}) {
+    TextTable table({"hyper-threads", "total_W", "package_W", "cores_W", "dram_W"});
+    for (int threads = 0; threads <= 40; threads += 5) {
+      const PowerBreakdownPoint p = PowerBreakdown(model, threads, vf);
+      table.AddNumericRow(std::to_string(threads),
+                          {p.total_w, p.package_w, p.cores_w, p.dram_w}, 1);
+    }
+    EmitTable(table, options,
+              std::string("Figure 2: power breakdown, ") +
+                  (vf == VfSetting::kMin ? "minimum" : "maximum") + " frequency " +
+                  "(paper: idle 55.5 W total; max ~206 W = 132 W package + 74 W DRAM)");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 10: throughput and TPP ratios of MUTEXEE *without* over *with*
+// futex-sleep timeouts, as a function of the timeout.
+//
+// Paper: for an 8 us timeout MUTEXEE-without delivers up to 14x the
+// throughput (24x the TPP) of MUTEXEE-with; for timeouts beyond ~16-32 ms
+// the two converge -- the fairness/performance trade-off dial.
+#include "bench/bench_common.hpp"
+#include "src/sim/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+
+  TextTable table({"timeout", "threads", "tput_ratio(no/with)", "tpp_ratio(no/with)",
+                   "max_latency_with_Mcyc"});
+  const struct {
+    const char* label;
+    std::uint64_t ns;
+  } timeouts[] = {{"8us", 8'000},        {"128us", 128'000},   {"2ms", 2'000'000},
+                  {"32ms", 32'000'000},  {"512ms", 512'000'000}};
+  for (const auto& timeout : timeouts) {
+    for (int threads : {10, 20, 40}) {
+      WorkloadConfig config;
+      config.threads = threads;
+      config.cs_cycles = 2000;  // the paper's Figure 10 workload
+      config.non_cs_cycles = 100;
+      config.duration_cycles = options.quick ? 14'000'000 : 56'000'000;
+
+      WorkloadEnv with_timeout;
+      with_timeout.lock_options.mutexee.sleep_timeout_ns = timeout.ns;
+      const WorkloadResult timed = RunLockWorkload("MUTEXEE-TO", config, with_timeout);
+      const WorkloadResult plain = RunLockWorkload("MUTEXEE", config);
+
+      table.AddRow({timeout.label, std::to_string(threads),
+                    FormatDouble(timed.throughput_per_s > 0
+                                     ? plain.throughput_per_s / timed.throughput_per_s
+                                     : 0,
+                                 2),
+                    FormatDouble(timed.tpp > 0 ? plain.tpp / timed.tpp : 0, 2),
+                    FormatDouble(static_cast<double>(timed.acquire_latency_cycles.max()) / 1e6,
+                                 1)});
+    }
+  }
+  EmitTable(table, options,
+            "Figure 10: MUTEXEE without/with timeouts (paper: short timeouts cost up to "
+            "14x throughput / 24x TPP; converges past 16-32 ms)");
+  return 0;
+}

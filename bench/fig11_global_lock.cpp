@@ -1,0 +1,43 @@
+// Figure 11: throughput and TPP of a single (global) lock, 1000-cycle
+// critical sections, across thread counts.
+//
+// Paper shapes: MCS best up to full subscription; TAS worst spinlock (its
+// release fights the atomic storm); MUTEX well below the spinlocks (futex
+// churn); MUTEXEE highest TPP (better throughput and lower power); the fair
+// locks (TICKET, MCS) collapse past 40 threads, where oversubscription
+// begins; MUTEXEE stays stable.
+#include "bench/bench_common.hpp"
+#include "src/sim/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+
+  const std::vector<std::string> locks = {"MUTEX", "TAS", "TTAS", "TICKET", "MCS", "MUTEXEE"};
+  TextTable tput({"threads", "MUTEX", "TAS", "TTAS", "TICKET", "MCS", "MUTEXEE"});
+  TextTable tpp({"threads", "MUTEX", "TAS", "TTAS", "TICKET", "MCS", "MUTEXEE"});
+
+  for (int threads : {1, 5, 10, 20, 30, 40, 50, 60}) {
+    std::vector<double> tput_row;
+    std::vector<double> tpp_row;
+    for (const std::string& lock : locks) {
+      WorkloadConfig config;
+      config.threads = threads;
+      config.cs_cycles = 1000;
+      config.non_cs_cycles = 100;
+      config.duration_cycles = options.quick ? 14'000'000 : 28'000'000;
+      const WorkloadResult result = RunLockWorkload(lock, config);
+      tput_row.push_back(result.ThroughputM());
+      tpp_row.push_back(result.TppK());
+    }
+    tput.AddNumericRow(std::to_string(threads), tput_row, 3);
+    tpp.AddNumericRow(std::to_string(threads), tpp_row, 2);
+  }
+  EmitTable(tput, options,
+            "Figure 11 (left): single-lock throughput, Macq/s (paper: MCS best <=40 "
+            "threads; fair locks collapse past 40; MUTEX lowest)");
+  EmitTable(tpp, options,
+            "Figure 11 (right): single-lock TPP, Kacq/Joule (paper: MUTEXEE best; MUTEX "
+            "73% below TICKET at 40 threads)");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 12: correlation of throughput with energy efficiency (TPP) across
+// a diverse set of configurations -- the POLY conjecture's headline plot.
+//
+// Paper: threads 1-16, critical sections 0-8000 cycles, 1-512 locks; "most
+// data points fall on, or very close to, the linear line"; on 85% of the
+// configurations the lock with the best throughput also achieves the best
+// TPP; on the rest the gap is small (best-throughput lock within ~5-8%).
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+#include "src/sim/workload.hpp"
+#include "src/stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+
+  const std::vector<std::string> locks = {"MUTEX", "TAS", "TTAS", "TICKET", "MCS", "MUTEXEE"};
+  const std::vector<int> thread_axis = options.quick ? std::vector<int>{2, 8}
+                                                     : std::vector<int>{1, 2, 4, 8, 16};
+  const std::vector<std::uint64_t> cs_axis =
+      options.quick ? std::vector<std::uint64_t>{500, 4000}
+                    : std::vector<std::uint64_t>{0, 500, 2000, 8000};
+  const std::vector<int> locks_axis =
+      options.quick ? std::vector<int>{1, 64} : std::vector<int>{1, 4, 64, 512};
+
+  std::vector<double> all_tput;
+  std::vector<double> all_tpp;
+  int configs = 0;
+  int best_coincide = 0;
+  double tput_gap_sum = 0;  // when they differ: best-tput's TPP deficit
+  int differ = 0;
+
+  for (int threads : thread_axis) {
+    for (std::uint64_t cs : cs_axis) {
+      for (int nlocks : locks_axis) {
+        double best_tput = -1;
+        double best_tpp = -1;
+        std::string best_tput_lock;
+        std::string best_tpp_lock;
+        double tpp_of_best_tput = 0;
+        for (const std::string& lock : locks) {
+          WorkloadConfig config;
+          config.threads = threads;
+          config.locks = nlocks;
+          config.cs_cycles = cs;
+          config.non_cs_cycles = 200;
+          config.duration_cycles = 14'000'000;
+          config.seed = static_cast<std::uint64_t>(threads) * 977 + cs + nlocks;
+          const WorkloadResult result = RunLockWorkload(lock, config);
+          all_tput.push_back(result.throughput_per_s);
+          all_tpp.push_back(result.tpp);
+          if (result.throughput_per_s > best_tput) {
+            best_tput = result.throughput_per_s;
+            best_tput_lock = lock;
+            tpp_of_best_tput = result.tpp;
+          }
+          if (result.tpp > best_tpp) {
+            best_tpp = result.tpp;
+            best_tpp_lock = lock;
+          }
+        }
+        ++configs;
+        if (best_tput_lock == best_tpp_lock) {
+          ++best_coincide;
+        } else {
+          ++differ;
+          tput_gap_sum += best_tpp > 0 ? (best_tpp - tpp_of_best_tput) / best_tpp : 0;
+        }
+      }
+    }
+  }
+
+  // Normalize to the overall maxima, as in the paper's plot.
+  const double max_tput = *std::max_element(all_tput.begin(), all_tput.end());
+  const double max_tpp = *std::max_element(all_tpp.begin(), all_tpp.end());
+  std::vector<double> norm_tput;
+  std::vector<double> norm_tpp;
+  for (std::size_t i = 0; i < all_tput.size(); ++i) {
+    norm_tput.push_back(all_tput[i] / max_tput);
+    norm_tpp.push_back(all_tpp[i] / max_tpp);
+  }
+
+  TextTable table({"metric", "value", "paper"});
+  table.AddRow({"configurations", std::to_string(configs), "2084"});
+  table.AddRow({"data points", std::to_string(norm_tput.size()), "-"});
+  table.AddRow({"Pearson r (tput, TPP)", FormatDouble(PearsonCorrelation(norm_tput, norm_tpp), 3),
+                "~1 (\"on or very close to the linear line\")"});
+  table.AddRow({"best-tput == best-TPP",
+                FormatDouble(100.0 * best_coincide / configs, 1) + "%", "85%"});
+  table.AddRow({"avg TPP deficit when differing",
+                differ > 0 ? FormatDouble(100.0 * tput_gap_sum / differ, 1) + "%" : "n/a",
+                "5%"});
+  EmitTable(table, options, "Figure 12: throughput <-> TPP correlation (POLY)");
+  return 0;
+}

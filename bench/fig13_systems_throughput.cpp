@@ -1,0 +1,35 @@
+// Figure 13: normalized (to MUTEX) throughput of the six systems with
+// TICKET and MUTEXEE.
+//
+// Paper: swapping MUTEX out raises throughput by 31% on average; TICKET
+// collapses on the oversubscribed MySQL (0.01x/0.16x) and SQLite 64-CON
+// (0.25x) configurations; Kyoto gains the most (up to 1.85x).
+#include "bench/bench_common.hpp"
+#include "src/sim/sysmodel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+
+  TextTable table({"system", "config", "TICKET", "paper", "MUTEXEE", "paper"});
+  double ticket_sum = 0;
+  double mutexee_sum = 0;
+  int count = 0;
+  for (SystemWorkload spec : PaperSystemWorkloads()) {
+    if (options.quick) {
+      spec.workload.duration_cycles = 42'000'000;
+    }
+    const SystemResult r = RunSystemWorkload(spec);
+    table.AddRow({spec.system, spec.config, FormatDouble(r.ThroughputRatioTicket(), 2),
+                  FormatDouble(spec.paper_throughput_ticket, 2),
+                  FormatDouble(r.ThroughputRatioMutexee(), 2),
+                  FormatDouble(spec.paper_throughput_mutexee, 2)});
+    ticket_sum += r.ThroughputRatioTicket();
+    mutexee_sum += r.ThroughputRatioMutexee();
+    ++count;
+  }
+  table.AddRow({"Avg", "", FormatDouble(ticket_sum / count, 2), "1.06",
+                FormatDouble(mutexee_sum / count, 2), "1.26"});
+  EmitTable(table, options, "Figure 13: normalized throughput of the six systems");
+  return 0;
+}

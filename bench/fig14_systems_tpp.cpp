@@ -1,0 +1,34 @@
+// Figure 14: normalized (to MUTEX) energy efficiency (TPP) of the six
+// systems with TICKET and MUTEXEE.
+//
+// Paper: 33% average TPP improvement, driven by the throughput gains
+// (POLY); SQLite additionally saves 15-18% power with MUTEXEE.
+#include "bench/bench_common.hpp"
+#include "src/sim/sysmodel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+
+  TextTable table({"system", "config", "TICKET", "paper", "MUTEXEE", "paper"});
+  double ticket_sum = 0;
+  double mutexee_sum = 0;
+  int count = 0;
+  for (SystemWorkload spec : PaperSystemWorkloads()) {
+    if (options.quick) {
+      spec.workload.duration_cycles = 42'000'000;
+    }
+    const SystemResult r = RunSystemWorkload(spec);
+    table.AddRow({spec.system, spec.config, FormatDouble(r.TppRatioTicket(), 2),
+                  FormatDouble(spec.paper_tpp_ticket, 2),
+                  FormatDouble(r.TppRatioMutexee(), 2),
+                  FormatDouble(spec.paper_tpp_mutexee, 2)});
+    ticket_sum += r.TppRatioTicket();
+    mutexee_sum += r.TppRatioMutexee();
+    ++count;
+  }
+  table.AddRow({"Avg", "", FormatDouble(ticket_sum / count, 2), "1.05",
+                FormatDouble(mutexee_sum / count, 2), "1.28"});
+  EmitTable(table, options, "Figure 14: normalized energy efficiency (TPP) of the six systems");
+  return 0;
+}

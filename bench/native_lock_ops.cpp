@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks of the *native* lock library on this
+// host: uncontested acquire/release and a contended counter. Sanity checks
+// that the real implementations behave (relative ordering of Table 2),
+// independent of the simulator.
+#include <benchmark/benchmark.h>
+
+#include "src/locks/clh.hpp"
+#include "src/locks/futex_lock.hpp"
+#include "src/locks/mcs.hpp"
+#include "src/locks/mutexee.hpp"
+#include "src/locks/pthread_adapter.hpp"
+#include "src/locks/rwlock.hpp"
+#include "src/locks/spinlocks.hpp"
+
+namespace lockin {
+namespace {
+
+// Spin configuration safe for small hosts: yield after a bounded spin.
+SpinConfig BenchSpin() {
+  SpinConfig config;
+  config.yield_after = 256;
+  return config;
+}
+
+template <typename Lock>
+void UncontestedLoop(benchmark::State& state, Lock& lock) {
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Tas(benchmark::State& state) {
+  TasLock lock(BenchSpin());
+  UncontestedLoop(state, lock);
+}
+BENCHMARK(BM_Tas);
+
+void BM_Ttas(benchmark::State& state) {
+  TtasLock lock(BenchSpin());
+  UncontestedLoop(state, lock);
+}
+BENCHMARK(BM_Ttas);
+
+void BM_Ticket(benchmark::State& state) {
+  TicketLock lock(BenchSpin());
+  UncontestedLoop(state, lock);
+}
+BENCHMARK(BM_Ticket);
+
+void BM_Mcs(benchmark::State& state) {
+  McsLock lock(BenchSpin());
+  UncontestedLoop(state, lock);
+}
+BENCHMARK(BM_Mcs);
+
+void BM_Clh(benchmark::State& state) {
+  ClhLock lock(BenchSpin());
+  UncontestedLoop(state, lock);
+}
+BENCHMARK(BM_Clh);
+
+void BM_FutexMutex(benchmark::State& state) {
+  FutexLock lock;
+  UncontestedLoop(state, lock);
+}
+BENCHMARK(BM_FutexMutex);
+
+void BM_Mutexee(benchmark::State& state) {
+  MutexeeLock lock;
+  UncontestedLoop(state, lock);
+}
+BENCHMARK(BM_Mutexee);
+
+void BM_Pthread(benchmark::State& state) {
+  PthreadMutex lock;
+  UncontestedLoop(state, lock);
+}
+BENCHMARK(BM_Pthread);
+
+void BM_RwLockRead(benchmark::State& state) {
+  RwLock lock;
+  for (auto _ : state) {
+    lock.lock_shared();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock_shared();
+  }
+}
+BENCHMARK(BM_RwLockRead);
+
+// Contended counter across threads (google-benchmark threading).
+void BM_MutexeeContended(benchmark::State& state) {
+  static MutexeeLock lock;
+  static long counter = 0;
+  for (auto _ : state) {
+    lock.lock();
+    counter = counter + 1;
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_MutexeeContended)->Threads(2)->Threads(4);
+
+void BM_FutexMutexContended(benchmark::State& state) {
+  static FutexLock lock;
+  static long counter = 0;
+  for (auto _ : state) {
+    lock.lock();
+    counter = counter + 1;
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_FutexMutexContended)->Threads(2)->Threads(4);
+
+}  // namespace
+}  // namespace lockin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Table 2: single-threaded (uncontested) lock throughput and TPP.
+//
+// Paper (Macq/s | Kacq/Joule, 100-cycle critical sections):
+//   MUTEX 11.88|174.31  TAS 16.88|248.14  TTAS 16.98|249.41
+//   TICKET 16.97|249.24 MCS 12.04|176.72  MUTEXEE 13.32|195.48
+// Shape: locks perform inversely to their complexity; with no contention
+// the throughput and TPP trends are identical.
+//
+// Prints the simulated reproduction and, below it, the *native* throughput
+// of the real lock library on this host (no RAPL -> throughput only).
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "src/locks/lock_registry.hpp"
+#include "src/platform/cycles.hpp"
+#include "src/sim/workload.hpp"
+
+namespace lockin {
+namespace {
+
+double NativeUncontestedMacqPerS(const std::string& name) {
+  auto lock = MakeLock(name);
+  if (lock == nullptr) {
+    return 0;
+  }
+  constexpr int kIters = 200000;
+  // Warm up.
+  for (int i = 0; i < 1000; ++i) {
+    lock->lock();
+    lock->unlock();
+  }
+  const std::uint64_t start = ReadCycles();
+  for (int i = 0; i < kIters; ++i) {
+    lock->lock();
+    SpinForCycles(100);  // the paper's 100-cycle critical section
+    lock->unlock();
+  }
+  const std::uint64_t cycles = ReadCycles() - start;
+  const double seconds =
+      static_cast<double>(CyclesToNs(cycles)) / 1e9;
+  return kIters / seconds / 1e6;
+}
+
+}  // namespace
+}  // namespace lockin
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+
+  const struct {
+    const char* name;
+    double paper_tput;
+    double paper_tpp;
+  } locks[] = {{"MUTEX", 11.88, 174.31}, {"TAS", 16.88, 248.14},  {"TTAS", 16.98, 249.41},
+               {"TICKET", 16.97, 249.24}, {"MCS", 12.04, 176.72}, {"MUTEXEE", 13.32, 195.48}};
+
+  TextTable sim({"lock", "tput_Macq/s", "paper", "TPP_Kacq/J", "paper"});
+  for (const auto& lock : locks) {
+    WorkloadConfig config;
+    config.threads = 1;
+    config.cs_cycles = 100;
+    config.non_cs_cycles = 0;
+    config.duration_cycles = options.quick ? 14'000'000 : 28'000'000;
+    const WorkloadResult result = RunLockWorkload(lock.name, config);
+    sim.AddRow({lock.name, FormatDouble(result.ThroughputM(), 2),
+                FormatDouble(lock.paper_tput, 2), FormatDouble(result.TppK(), 1),
+                FormatDouble(lock.paper_tpp, 1)});
+  }
+  EmitTable(sim, options, "Table 2 (simulated Xeon): uncontested throughput and TPP");
+
+  TextTable native({"lock", "native_tput_Macq/s"});
+  for (const auto& lock : locks) {
+    native.AddNumericRow(lock.name, {NativeUncontestedMacqPerS(lock.name)}, 2);
+  }
+  native.AddNumericRow("PTHREAD", {NativeUncontestedMacqPerS("PTHREAD")}, 2);
+  EmitTable(native, options,
+            "Table 2 (native, this host): uncontested throughput of the real lock "
+            "library (absolute values depend on the host clock)");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Paper-style lock microbenchmark on *this* machine: the tool a user with a
+// real multi-socket box runs to produce Figure-11-style rows from the
+// native lock library (throughput via rdtsc; energy via RAPL when the host
+// exposes it, the calibrated model otherwise).
+//
+//   $ ./native_bench [threads] [cs_cycles] [duration_ms]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/energy/model_meter.hpp"
+#include "src/energy/rapl_meter.hpp"
+#include "src/locks/harness.hpp"
+#include "src/platform/topology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::uint64_t cs = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1000;
+  const std::uint64_t ms = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 200;
+
+  std::printf("host: %s | RAPL: %s\n", Topology::Detect().ToString().c_str(),
+              RaplMeter::Available() ? "yes" : "no (model)");
+  std::printf("threads=%d cs=%llu cycles, %llu ms per lock\n\n", threads,
+              (unsigned long long)cs, (unsigned long long)ms);
+
+  auto registry = std::make_shared<ActivityRegistry>(
+      PowerModel(Topology::Detect(), PowerParams::PaperXeon()));
+  std::unique_ptr<EnergyMeter> meter = MakeDefaultMeter(registry);
+
+  std::printf("%-10s %14s %10s %12s %10s %12s\n", "lock", "tput(acq/s)", "watts",
+              "TPP(acq/J)", "p95(cyc)", "p99.99(cyc)");
+  for (const char* name : {"MUTEX", "PTHREAD", "TAS", "TTAS", "TICKET", "MCS", "CLH", "TAS-BO",
+                           "COHORT", "MUTEXEE"}) {
+    NativeBenchConfig config;
+    config.lock_name = name;
+    config.threads = threads;
+    config.cs_cycles = cs;
+    config.duration_ms = ms;
+    config.lock_options.spin.yield_after = 512;  // survive oversubscribed hosts
+    // Report this run's threads as active contexts to the model meter.
+    for (int t = 0; t < threads; ++t) {
+      registry->SetState(t, ActivityState::kCritical);
+    }
+    const NativeBenchResult r = RunNativeBench(config, meter.get());
+    for (int t = 0; t < threads; ++t) {
+      registry->SetState(t, ActivityState::kInactive);
+    }
+    std::printf("%-10s %14.0f %10.1f %12.0f %10llu %12llu\n", name, r.throughput_per_s,
+                r.energy.average_watts(), r.tpp,
+                (unsigned long long)r.acquire_latency_cycles.P95(),
+                (unsigned long long)r.acquire_latency_cycles.P9999());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// The MUTEXEE platform tuner (the paper's "script which runs the necessary
+// microbenchmarks and reports the configuration parameters", section 5.1).
+//
+// Measures this host's futex wake/turnaround and cache-line transfer
+// latencies and derives the spin and grace budgets for MutexeeConfig.
+//
+//   $ ./tune_mutexee
+#include <cstdio>
+
+#include "src/locks/tuner.hpp"
+#include "src/platform/cycles.hpp"
+#include "src/platform/topology.hpp"
+
+int main() {
+  using namespace lockin;
+  std::printf("host: %s, TSC ~%.2f GHz\n\n", Topology::Detect().ToString().c_str(),
+              CyclesPerNs());
+  std::printf("running tuning microbenchmarks...\n\n");
+  const TunerReport report = RunMutexeeTuner();
+  std::printf("%s\n", report.ToString().c_str());
+  std::printf("use it like:\n"
+              "  lockin::MutexeeConfig config;\n"
+              "  config.spin_mode_lock_cycles  = %llu;\n"
+              "  config.spin_mode_grace_cycles = %llu;\n"
+              "  lockin::MutexeeLock lock(config);\n",
+              (unsigned long long)report.config.spin_mode_lock_cycles,
+              (unsigned long long)report.config.spin_mode_grace_cycles);
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "src/energy/model_meter.hpp"
+
+#include "src/energy/rapl_meter.hpp"
+
+namespace lockin {
+
+ActivityRegistry::ActivityRegistry(PowerModel model)
+    : model_(std::move(model)),
+      states_(model_.topology().total_contexts(), ActivityState::kInactive),
+      last_transition_(std::chrono::steady_clock::now()) {}
+
+void ActivityRegistry::AccumulateLocked(std::chrono::steady_clock::time_point now) {
+  const double dt =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now - last_transition_).count();
+  if (dt > 0) {
+    const PowerModel::Breakdown watts = model_.ComponentWatts(states_, {});
+    totals_.package_joules += watts.package_w * dt;
+    totals_.dram_joules += watts.dram_w * dt;
+    totals_.seconds += dt;
+  }
+  last_transition_ = now;
+}
+
+void ActivityRegistry::SetState(int ctx, ActivityState state) {
+  std::lock_guard<std::mutex> guard(mu_);
+  AccumulateLocked(std::chrono::steady_clock::now());
+  if (ctx >= 0 && ctx < static_cast<int>(states_.size())) {
+    states_[ctx] = state;
+  }
+}
+
+ActivityRegistry::Totals ActivityRegistry::Snapshot() {
+  std::lock_guard<std::mutex> guard(mu_);
+  AccumulateLocked(std::chrono::steady_clock::now());
+  return totals_;
+}
+
+void ActivityRegistry::ResetEnergy() {
+  std::lock_guard<std::mutex> guard(mu_);
+  AccumulateLocked(std::chrono::steady_clock::now());
+  totals_ = Totals{};
+}
+
+ModelMeter::ModelMeter(std::shared_ptr<ActivityRegistry> registry)
+    : registry_(std::move(registry)) {}
+
+void ModelMeter::Start() { start_ = registry_->Snapshot(); }
+
+EnergySample ModelMeter::Stop() {
+  const ActivityRegistry::Totals end = registry_->Snapshot();
+  EnergySample sample;
+  sample.package_joules = end.package_joules - start_.package_joules;
+  sample.dram_joules = end.dram_joules - start_.dram_joules;
+  sample.seconds = end.seconds - start_.seconds;
+  return sample;
+}
+
+std::unique_ptr<EnergyMeter> MakeDefaultMeter(std::shared_ptr<ActivityRegistry> registry) {
+  if (RaplMeter::Available()) {
+    return std::make_unique<RaplMeter>();
+  }
+  if (registry != nullptr) {
+    return std::make_unique<ModelMeter>(std::move(registry));
+  }
+  return nullptr;
+}
+
+}  // namespace lockin

@@ -1,0 +1,185 @@
+#include "src/energy/power_model.hpp"
+
+#include <algorithm>
+
+namespace lockin {
+
+const char* ActivityStateName(ActivityState state) {
+  switch (state) {
+    case ActivityState::kInactive:
+      return "inactive";
+    case ActivityState::kSleeping:
+      return "sleeping";
+    case ActivityState::kDeepSleep:
+      return "deep-sleep";
+    case ActivityState::kWorking:
+      return "working";
+    case ActivityState::kCritical:
+      return "critical";
+    case ActivityState::kSpinGlobal:
+      return "spin-global";
+    case ActivityState::kSpinLocal:
+      return "spin-local";
+    case ActivityState::kSpinPause:
+      return "spin-pause";
+    case ActivityState::kSpinMbar:
+      return "spin-mbar";
+    case ActivityState::kSpinDvfsMin:
+      return "spin-dvfs-min";
+    case ActivityState::kMwait:
+      return "mwait";
+    case ActivityState::kKernel:
+      return "kernel";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool IsContextActive(ActivityState state) {
+  switch (state) {
+    case ActivityState::kInactive:
+    case ActivityState::kSleeping:
+    case ActivityState::kDeepSleep:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+PowerModel::PowerModel(Topology topology, PowerParams params)
+    : topology_(std::move(topology)), params_(params) {}
+
+double PowerModel::ActivityFactor(ActivityState state) const {
+  switch (state) {
+    case ActivityState::kInactive:
+    case ActivityState::kSleeping:
+    case ActivityState::kDeepSleep:
+      return 0.0;
+    case ActivityState::kWorking:
+      return params_.factor_working;
+    case ActivityState::kCritical:
+      return params_.factor_critical;
+    case ActivityState::kSpinGlobal:
+      return params_.factor_spin_global;
+    case ActivityState::kSpinLocal:
+      return params_.factor_spin_local;
+    case ActivityState::kSpinPause:
+      return params_.factor_spin_pause;
+    case ActivityState::kSpinMbar:
+      return params_.factor_spin_mbar;
+    case ActivityState::kSpinDvfsMin:
+      // The DVFS state's reduction comes from the min-VF core power, not the
+      // activity factor; it spins like local spinning otherwise.
+      return params_.factor_spin_local;
+    case ActivityState::kMwait:
+      return params_.factor_mwait;
+    case ActivityState::kKernel:
+      return params_.factor_kernel;
+  }
+  return 0.0;
+}
+
+PowerModel::Breakdown PowerModel::ComponentWatts(const std::vector<ActivityState>& states,
+                                                 const std::vector<VfSetting>& vf) const {
+  const int contexts = topology_.total_contexts();
+  const auto& cpus = topology_.cpus();
+
+  auto state_of = [&](int ctx) {
+    return ctx < static_cast<int>(states.size()) ? states[ctx] : ActivityState::kInactive;
+  };
+  auto vf_of = [&](int ctx) {
+    if (state_of(ctx) == ActivityState::kSpinDvfsMin) {
+      return VfSetting::kMin;
+    }
+    return ctx < static_cast<int>(vf.size()) ? vf[ctx] : VfSetting::kMax;
+  };
+
+  // Hyper-threads of a core share the *higher* VF point (section 4.2), and
+  // an inactive sibling counts as high: lowering one context's VF "will
+  // have no effect unless the second hyper-thread has the same or lower VF
+  // setting". A core runs at min VF only when every one of its contexts
+  // requests min. Keyed by socket * cores_per_socket + core.
+  const int cores_total = topology_.total_cores();
+  std::vector<int> active_contexts_on_core(cores_total, 0);
+  std::vector<VfSetting> core_vf(cores_total, VfSetting::kMin);
+  std::vector<bool> socket_active(topology_.sockets(), false);
+
+  for (int ctx = 0; ctx < contexts && ctx < static_cast<int>(cpus.size()); ++ctx) {
+    const CpuInfo& cpu = cpus[ctx];
+    const int core_key = cpu.socket * topology_.cores_per_socket() + cpu.core;
+    if (vf_of(ctx) == VfSetting::kMax) {
+      core_vf[core_key] = VfSetting::kMax;  // higher request (or idle) wins
+    }
+    if (!IsContextActive(state_of(ctx))) {
+      continue;
+    }
+    active_contexts_on_core[core_key]++;
+    socket_active[cpu.socket] = true;
+  }
+
+  Breakdown result;
+  result.package_w = params_.idle_package_w;
+  result.dram_w = params_.idle_dram_w;
+
+  for (int socket = 0; socket < topology_.sockets(); ++socket) {
+    if (socket_active[socket]) {
+      // Uncore activation at the socket's max VF among active cores.
+      bool any_max = false;
+      for (int core = 0; core < topology_.cores_per_socket(); ++core) {
+        const int key = socket * topology_.cores_per_socket() + core;
+        if (active_contexts_on_core[key] > 0 && core_vf[key] == VfSetting::kMax) {
+          any_max = true;
+        }
+      }
+      result.package_w += any_max ? params_.uncore_active_w_max : params_.uncore_active_w_min;
+    }
+  }
+
+  // Per-context dynamic power. The first context of a core pays the core
+  // wake-up power; additional hyper-threads pay the (smaller) SMT power.
+  std::vector<int> seen_on_core(cores_total, 0);
+  for (int ctx = 0; ctx < contexts && ctx < static_cast<int>(cpus.size()); ++ctx) {
+    const CpuInfo& cpu = cpus[ctx];
+    const ActivityState state = state_of(ctx);
+    if (!IsContextActive(state)) {
+      if (state == ActivityState::kSleeping || state == ActivityState::kDeepSleep) {
+        result.package_w += params_.sleeping_thread_w;
+      }
+      continue;
+    }
+    const int core_key = cpu.socket * topology_.cores_per_socket() + cpu.core;
+    const VfSetting effective_vf = core_vf[core_key];
+    const bool first_on_core = seen_on_core[core_key] == 0;
+    seen_on_core[core_key]++;
+
+    const double base = first_on_core ? (effective_vf == VfSetting::kMax
+                                             ? params_.core_active_w_max
+                                             : params_.core_active_w_min)
+                                      : (effective_vf == VfSetting::kMax
+                                             ? params_.smt_active_w_max
+                                             : params_.smt_active_w_min);
+    const double dynamic = base * ActivityFactor(state);
+    result.cores_w += dynamic;
+    result.package_w += dynamic;
+    if (state == ActivityState::kWorking) {
+      result.dram_w += params_.dram_per_working_context_w;
+    }
+  }
+
+  return result;
+}
+
+double PowerModel::TotalWatts(const std::vector<ActivityState>& states,
+                              const std::vector<VfSetting>& vf) const {
+  return ComponentWatts(states, vf).total();
+}
+
+double PowerModel::TotalWatts(const std::vector<ActivityState>& states, VfSetting vf) const {
+  const std::vector<VfSetting> uniform(states.size(), vf);
+  return TotalWatts(states, uniform);
+}
+
+}  // namespace lockin

@@ -1,0 +1,100 @@
+#include "src/energy/rapl_meter.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace lockin {
+namespace {
+
+constexpr char kPowercapRoot[] = "/sys/class/powercap";
+
+std::string ReadLine(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) {
+    std::getline(in, line);
+  }
+  return line;
+}
+
+}  // namespace
+
+std::uint64_t RaplMeter::ReadCounter(const std::string& path) {
+  const std::string text = ReadLine(path);
+  if (text.empty()) {
+    return 0;
+  }
+  return std::stoull(text);
+}
+
+std::vector<RaplMeter::Domain> RaplMeter::DiscoverDomains() {
+  std::vector<Domain> domains;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(kPowercapRoot, ec);
+  if (ec) {
+    return domains;
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("intel-rapl:", 0) != 0) {
+      continue;
+    }
+    const std::string energy_path = entry.path().string() + "/energy_uj";
+    std::ifstream probe(energy_path);
+    if (!probe) {
+      continue;  // often root-only; skip unreadable domains
+    }
+    Domain d;
+    d.energy_path = energy_path;
+    const std::string range = ReadLine(entry.path().string() + "/max_energy_range_uj");
+    d.max_range_uj = range.empty() ? 0 : std::stoull(range);
+    const std::string domain_name = ReadLine(entry.path().string() + "/name");
+    d.is_dram = domain_name.find("dram") != std::string::npos;
+    domains.push_back(std::move(d));
+  }
+  return domains;
+}
+
+bool RaplMeter::Available() {
+  for (const Domain& d : DiscoverDomains()) {
+    if (!d.is_dram) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RaplMeter::RaplMeter() : domains_(DiscoverDomains()) {}
+
+void RaplMeter::Start() {
+  for (Domain& d : domains_) {
+    d.start_uj = ReadCounter(d.energy_path);
+  }
+  start_time_ = std::chrono::steady_clock::now();
+}
+
+EnergySample RaplMeter::Stop() {
+  EnergySample sample;
+  const auto now = std::chrono::steady_clock::now();
+  sample.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now - start_time_).count();
+  for (Domain& d : domains_) {
+    const std::uint64_t end_uj = ReadCounter(d.energy_path);
+    std::uint64_t delta;
+    if (end_uj >= d.start_uj) {
+      delta = end_uj - d.start_uj;
+    } else {
+      // Counter wrapped; max_energy_range_uj is the modulus.
+      delta = d.max_range_uj > 0 ? (d.max_range_uj - d.start_uj) + end_uj : 0;
+    }
+    const double joules = static_cast<double>(delta) * 1e-6;
+    if (d.is_dram) {
+      sample.dram_joules += joules;
+    } else {
+      sample.package_joules += joules;
+    }
+  }
+  return sample;
+}
+
+}  // namespace lockin

@@ -1,0 +1,50 @@
+// RAPL energy meter backed by the Linux powercap sysfs interface.
+//
+// Reads /sys/class/powercap/intel-rapl:* energy_uj counters, the same
+// counters the paper uses (section 2: "Recent Intel processors include the
+// RAPL interface for accurately measuring energy consumption"). Handles
+// counter wraparound via max_energy_range_uj.
+#ifndef SRC_ENERGY_RAPL_METER_HPP_
+#define SRC_ENERGY_RAPL_METER_HPP_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/energy/energy_meter.hpp"
+
+namespace lockin {
+
+class RaplMeter : public EnergyMeter {
+ public:
+  // True when at least one package RAPL domain is readable on this host.
+  static bool Available();
+
+  RaplMeter();
+
+  void Start() override;
+  EnergySample Stop() override;
+  std::string Name() const override { return "rapl"; }
+
+  // Number of RAPL domains discovered (for diagnostics).
+  std::size_t domain_count() const { return domains_.size(); }
+
+ private:
+  struct Domain {
+    std::string energy_path;
+    std::uint64_t max_range_uj = 0;
+    bool is_dram = false;
+    std::uint64_t start_uj = 0;
+  };
+
+  static std::vector<Domain> DiscoverDomains();
+  static std::uint64_t ReadCounter(const std::string& path);
+
+  std::vector<Domain> domains_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_ENERGY_RAPL_METER_HPP_

@@ -1,0 +1,87 @@
+#include "src/futex/futex.hpp"
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+
+namespace lockin {
+namespace {
+
+long RawFutex(std::atomic<std::uint32_t>* addr, int op, std::uint32_t val,
+              const timespec* timeout) {
+  return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), op, val, timeout, nullptr, 0);
+}
+
+FutexWaitResult WaitResultFromErrno(long rc) {
+  if (rc == 0) {
+    return FutexWaitResult::kWoken;
+  }
+  switch (errno) {
+    case EAGAIN:
+      return FutexWaitResult::kValueStale;
+    case ETIMEDOUT:
+      return FutexWaitResult::kTimedOut;
+    case EINTR:
+      return FutexWaitResult::kInterrupted;
+    default:
+      return FutexWaitResult::kWoken;
+  }
+}
+
+}  // namespace
+
+FutexWaitResult FutexWait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
+  const long rc = RawFutex(addr, FUTEX_WAIT_PRIVATE, expected, nullptr);
+  return WaitResultFromErrno(rc);
+}
+
+FutexWaitResult FutexWaitTimeout(std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+                                 std::uint64_t timeout_ns) {
+  if (timeout_ns == 0) {
+    return FutexWait(addr, expected);
+  }
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1000000000ULL);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1000000000ULL);
+  const long rc = RawFutex(addr, FUTEX_WAIT_PRIVATE, expected, &ts);
+  return WaitResultFromErrno(rc);
+}
+
+int FutexWake(std::atomic<std::uint32_t>* addr, int count) {
+  const long rc = RawFutex(addr, FUTEX_WAKE_PRIVATE, static_cast<std::uint32_t>(count), nullptr);
+  return rc < 0 ? 0 : static_cast<int>(rc);
+}
+
+FutexWaitResult FutexWaitCounted(std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+                                 FutexStats* stats) {
+  stats->sleeps.fetch_add(1, std::memory_order_relaxed);
+  const FutexWaitResult result = FutexWait(addr, expected);
+  if (result == FutexWaitResult::kValueStale) {
+    stats->sleep_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+FutexWaitResult FutexWaitTimeoutCounted(std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+                                        std::uint64_t timeout_ns, FutexStats* stats) {
+  stats->sleeps.fetch_add(1, std::memory_order_relaxed);
+  const FutexWaitResult result = FutexWaitTimeout(addr, expected, timeout_ns);
+  if (result == FutexWaitResult::kValueStale) {
+    stats->sleep_misses.fetch_add(1, std::memory_order_relaxed);
+  } else if (result == FutexWaitResult::kTimedOut) {
+    stats->timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+int FutexWakeCounted(std::atomic<std::uint32_t>* addr, int count, FutexStats* stats) {
+  stats->wake_calls.fetch_add(1, std::memory_order_relaxed);
+  const int woken = FutexWake(addr, count);
+  stats->threads_woken.fetch_add(static_cast<std::uint64_t>(woken), std::memory_order_relaxed);
+  return woken;
+}
+
+}  // namespace lockin

@@ -1,0 +1,108 @@
+#include "src/locks/backoff.hpp"
+
+#include <thread>
+
+#include "src/platform/cycles.hpp"
+
+namespace lockin {
+
+void BackoffTasLock::lock() {
+  // Per-thread RNG so concurrent waiters decorrelate.
+  thread_local Xoshiro256 rng(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1);
+  std::uint64_t window = config_.min_cycles;
+  std::uint32_t iteration = 0;
+  while (locked_.exchange(1, std::memory_order_acquire) != 0) {
+    const std::uint64_t wait = config_.min_cycles + rng.NextBelow(window);
+    const std::uint64_t start = ReadCycles();
+    while (ReadCycles() - start < wait) {
+      if (config_.yield_after != 0 && ++iteration >= config_.yield_after) {
+        iteration = 0;
+        SpinPause(PauseKind::kYield);
+      } else {
+        SpinPause(config_.pause);
+      }
+    }
+    window = std::min(window * 2, config_.max_cycles);
+  }
+}
+
+bool BackoffTasLock::try_lock() {
+  return locked_.exchange(1, std::memory_order_acquire) == 0;
+}
+
+void BackoffTasLock::unlock() { locked_.store(0, std::memory_order_release); }
+
+CohortLock::CohortLock(Config config) : config_(config) {
+  if (config_.sockets < 1) {
+    config_.sockets = 1;
+  }
+  locals_.reserve(static_cast<std::size_t>(config_.sockets));
+  for (int i = 0; i < config_.sockets; ++i) {
+    locals_.push_back(std::make_unique<Local>(config_.spin));
+  }
+}
+
+void CohortLock::lock(int socket) {
+  Local& local = *locals_[static_cast<std::size_t>(socket) %
+                          static_cast<std::size_t>(config_.sockets)];
+  local.waiters.fetch_add(1, std::memory_order_relaxed);
+  local.lock.lock();
+  local.waiters.fetch_sub(1, std::memory_order_relaxed);
+  // Inside the cohort: if a previous holder left the global lock to us,
+  // we own the critical section already.
+  if (local.global_held) {
+    return;
+  }
+  global_.lock();
+  local.global_held = true;
+  local.handovers = 0;
+}
+
+void CohortLock::unlock(int socket) {
+  Local& local = *locals_[static_cast<std::size_t>(socket) %
+                          static_cast<std::size_t>(config_.sockets)];
+  // Hand over within the socket while the budget lasts *and* a local
+  // waiter exists to take it; the next local acquirer inherits the global
+  // lock (global_held stays true).
+  if (local.handovers < config_.max_cohort_handovers &&
+      local.waiters.load(std::memory_order_relaxed) > 0) {
+    local.handovers++;
+    local.lock.unlock();
+    return;
+  }
+  local.global_held = false;
+  global_.unlock();
+  local.lock.unlock();
+}
+
+int CohortLock::SocketOfThisThread() const {
+  thread_local const std::size_t tid_hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<int>(tid_hash % static_cast<std::size_t>(config_.sockets));
+}
+
+void CohortLock::lock() { lock(SocketOfThisThread()); }
+
+bool CohortLock::try_lock() {
+  const int socket = SocketOfThisThread();
+  Local& local = *locals_[static_cast<std::size_t>(socket)];
+  if (!local.lock.try_lock()) {
+    return false;
+  }
+  // A try_lock winner behaves like a zero-waiters acquire.
+  if (local.global_held) {
+    return true;
+  }
+  if (global_.try_lock()) {
+    local.global_held = true;
+    local.handovers = 0;
+    return true;
+  }
+  local.lock.unlock();
+  return false;
+}
+
+void CohortLock::unlock() { unlock(SocketOfThisThread()); }
+
+}  // namespace lockin

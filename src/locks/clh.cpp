@@ -1,0 +1,95 @@
+#include "src/locks/clh.hpp"
+
+#include <unordered_map>
+
+namespace lockin {
+namespace {
+
+inline void SpinStep(const SpinConfig& config, std::uint32_t iteration) {
+  if (config.yield_after != 0 && iteration >= config.yield_after) {
+    SpinPause(PauseKind::kYield);
+  } else {
+    SpinPause(config.pause);
+  }
+}
+
+}  // namespace
+
+ClhLock::ClhLock() : ClhLock(SpinConfig{}) {}
+
+ClhLock::ClhLock(SpinConfig config) : config_(config) {
+  initial_node_ = new ClhNode();
+  initial_node_->locked.store(0, std::memory_order_relaxed);
+  tail_.store(initial_node_, std::memory_order_relaxed);
+}
+
+ClhLock::~ClhLock() {
+  // The node in tail_ when the lock dies is owned by the lock (either the
+  // initial node or one donated by the last releaser; nodes migrate between
+  // threads, so the last one standing is freed here; thread slots free the
+  // rest on lock destruction via their map).
+  delete tail_.load(std::memory_order_relaxed);
+}
+
+ClhLock::ThreadSlot* ClhLock::SlotForThisThread() {
+  // Per-thread, per-lock slot. CLH nodes migrate between threads, so slots
+  // cannot be a single thread_local; key by lock identity. Destruction of
+  // slots leaks at most one node per (thread, lock) pair that is never
+  // reused -- nodes owned by live slots are freed when the thread exits.
+  struct SlotMap {
+    std::unordered_map<const ClhLock*, ThreadSlot> slots;
+    ~SlotMap() {
+      for (auto& [lock, slot] : slots) {
+        delete slot.my_node;
+      }
+    }
+  };
+  thread_local SlotMap tls_map;
+  ThreadSlot& slot = tls_map.slots[this];
+  if (slot.my_node == nullptr) {
+    slot.my_node = new ClhNode();
+  }
+  return &slot;
+}
+
+void ClhLock::lock() {
+  ThreadSlot* slot = SlotForThisThread();
+  ClhNode* node = slot->my_node;
+  node->locked.store(1, std::memory_order_relaxed);
+  ClhNode* pred = tail_.exchange(node, std::memory_order_acq_rel);
+  slot->my_pred = pred;
+  std::uint32_t iteration = 0;
+  while (pred->locked.load(std::memory_order_acquire) != 0) {
+    SpinStep(config_, iteration++);
+  }
+}
+
+bool ClhLock::try_lock() {
+  ThreadSlot* slot = SlotForThisThread();
+  ClhNode* node = slot->my_node;
+  node->locked.store(1, std::memory_order_relaxed);
+  ClhNode* current_tail = tail_.load(std::memory_order_acquire);
+  if (current_tail->locked.load(std::memory_order_acquire) != 0) {
+    return false;  // held or queued behind
+  }
+  if (!tail_.compare_exchange_strong(current_tail, node, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+    return false;
+  }
+  slot->my_pred = current_tail;
+  // Predecessor was unlocked at the check; it stays unlocked because only a
+  // thread that re-acquires could set it, and it is no longer in the queue.
+  return true;
+}
+
+void ClhLock::unlock() {
+  ThreadSlot* slot = SlotForThisThread();
+  ClhNode* node = slot->my_node;
+  // Recycle: take the predecessor's node for the next acquisition, then
+  // release ours to the successor (who is spinning on it).
+  slot->my_node = slot->my_pred;
+  slot->my_pred = nullptr;
+  node->locked.store(0, std::memory_order_release);
+}
+
+}  // namespace lockin

@@ -1,0 +1,50 @@
+// CLH queue lock (Craig; Landin & Hagersten, 1993).
+//
+// Like MCS, waiters queue and spin locally, but each waiter spins on its
+// *predecessor's* node and inherits that node for its next acquisition
+// (node recycling). The paper evaluates CLH alongside MCS in section 5
+// ("CLH ... differ[s] in [its] busy-waiting implementation").
+#ifndef SRC_LOCKS_CLH_HPP_
+#define SRC_LOCKS_CLH_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/platform/cacheline.hpp"
+#include "src/locks/spinlocks.hpp"
+
+namespace lockin {
+
+struct alignas(kCacheLineSize) ClhNode {
+  std::atomic<std::uint32_t> locked{0};
+};
+
+class ClhLock {
+ public:
+  ClhLock();
+  explicit ClhLock(SpinConfig config);
+  ~ClhLock();
+
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  struct ThreadSlot {
+    ClhNode* my_node = nullptr;    // node to publish on next acquisition
+    ClhNode* my_pred = nullptr;    // predecessor node while holding
+  };
+
+  ThreadSlot* SlotForThisThread();
+
+  SpinConfig config_{};
+  alignas(kCacheLineSize) std::atomic<ClhNode*> tail_;
+  ClhNode* initial_node_;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_LOCKS_CLH_HPP_

@@ -1,0 +1,54 @@
+#include "src/locks/futex_lock.hpp"
+
+namespace lockin {
+
+void FutexLock::lock() {
+  // Spin phase: up to config_.spin_tries CAS attempts from 0.
+  for (std::uint32_t attempt = 0; attempt < config_.spin_tries; ++attempt) {
+    std::uint32_t expected = 0;
+    if (state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    SpinPause(config_.pause);
+  }
+
+  // Sleep phase: advertise waiters by moving to state 2, then futex-wait.
+  std::uint32_t current = state_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current == 0) {
+      // Grab directly into state 2: we cannot know whether other waiters
+      // remain, so the next unlock must wake.
+      if (state_.compare_exchange_weak(current, 2, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      continue;
+    }
+    if (current == 1) {
+      if (!state_.compare_exchange_weak(current, 2, std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+        continue;
+      }
+      current = 2;
+    }
+    FutexWaitCounted(&state_, 2, &stats_);
+    current = state_.load(std::memory_order_relaxed);
+  }
+}
+
+bool FutexLock::try_lock() {
+  std::uint32_t expected = 0;
+  return state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+}
+
+void FutexLock::unlock() {
+  // Release in user space; wake one sleeper only when waiters were
+  // advertised (state 2).
+  if (state_.exchange(0, std::memory_order_release) == 2) {
+    FutexWakeCounted(&state_, 1, &stats_);
+  }
+}
+
+}  // namespace lockin

@@ -1,0 +1,55 @@
+// FutexLock: a faithful re-implementation of the glibc pthread mutex
+// acquire/release protocol (Franke et al., "Fuss, Futexes and Furwocks").
+//
+// This is the paper's baseline MUTEX: spin briefly (default glibc tries the
+// atomic once; PTHREAD_MUTEX_ADAPTIVE_NP retries up to 100 times), then
+// sleep with FUTEX_WAIT. Release stores 0 in user space and wakes one
+// sleeper. The paper shows (section 5.1) that this "can result in very poor
+// performance for critical sections of up to 4000 cycles" because threads
+// are put to sleep although the queueing time is below the futex-sleep
+// latency -- the pathology MUTEXEE fixes.
+//
+// State protocol (same as glibc's lowlevellock):
+//   0 = free, 1 = locked/no waiters, 2 = locked/maybe waiters.
+#ifndef SRC_LOCKS_FUTEX_LOCK_HPP_
+#define SRC_LOCKS_FUTEX_LOCK_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/futex/futex.hpp"
+#include "src/platform/cacheline.hpp"
+#include "src/platform/spin_hint.hpp"
+
+namespace lockin {
+
+struct FutexLockConfig {
+  // Acquire attempts before sleeping. 1 mimics default MUTEX; 100 mimics
+  // PTHREAD_MUTEX_ADAPTIVE_NP. The paper uses the default in its figures.
+  std::uint32_t spin_tries = 1;
+  // Pausing between attempts; glibc uses `pause`, which the paper keeps for
+  // MUTEX ("MUTEX spins with pause, while TICKET uses a memory barrier").
+  PauseKind pause = PauseKind::kPause;
+};
+
+class FutexLock {
+ public:
+  FutexLock() = default;
+  explicit FutexLock(FutexLockConfig config) : config_(config) {}
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  const FutexStats& futex_stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  FutexLockConfig config_{};
+  FutexStats stats_;
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> state_{0};
+};
+
+}  // namespace lockin
+
+#endif  // SRC_LOCKS_FUTEX_LOCK_HPP_

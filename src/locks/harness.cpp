@@ -1,0 +1,97 @@
+#include "src/locks/harness.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "src/platform/cycles.hpp"
+#include "src/platform/spin_hint.hpp"
+#include "src/platform/rng.hpp"
+#include "src/platform/topology.hpp"
+
+namespace lockin {
+
+NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* meter) {
+  std::vector<std::unique_ptr<LockHandle>> locks;
+  locks.reserve(static_cast<std::size_t>(config.locks));
+  for (int i = 0; i < config.locks; ++i) {
+    auto lock = MakeLock(config.lock_name, config.lock_options);
+    if (lock == nullptr) {
+      throw std::invalid_argument("unknown lock: " + config.lock_name);
+    }
+    locks.push_back(std::move(lock));
+  }
+
+  const Topology topology = Topology::Detect();
+  const std::vector<CpuInfo> pinning = topology.PinningOrder();
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> acquires(static_cast<std::size_t>(config.threads), 0);
+  std::vector<LatencyHistogram> latencies(static_cast<std::size_t>(config.threads));
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(config.threads));
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (config.pin_threads && !pinning.empty()) {
+        PinThreadToCpu(pinning[static_cast<std::size_t>(t) % pinning.size()].os_cpu);
+      }
+      Xoshiro256 rng(config.seed * 40503 + static_cast<std::uint64_t>(t));
+      while (!start.load(std::memory_order_acquire)) {
+        SpinPause(PauseKind::kYield);
+      }
+      std::uint64_t local_acquires = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        LockHandle& lock = locks.size() == 1
+                               ? *locks[0]
+                               : *locks[rng.NextBelow(locks.size())];
+        const std::uint64_t before = config.record_latency ? ReadCycles() : 0;
+        lock.lock();
+        if (config.record_latency) {
+          latencies[static_cast<std::size_t>(t)].Record(ReadCycles() - before);
+        }
+        SpinForCycles(config.cs_cycles);
+        lock.unlock();
+        ++local_acquires;
+        if (config.non_cs_cycles != 0) {
+          SpinForCycles(config.non_cs_cycles);
+        }
+      }
+      acquires[static_cast<std::size_t>(t)] = local_acquires;
+    });
+  }
+
+  if (meter != nullptr) {
+    meter->Start();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(config.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  NativeBenchResult result;
+  result.lock_name = config.lock_name;
+  result.seconds = std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  if (meter != nullptr) {
+    result.energy = meter->Stop();
+  }
+  for (int t = 0; t < config.threads; ++t) {
+    result.total_acquires += acquires[static_cast<std::size_t>(t)];
+    result.acquire_latency_cycles.Merge(latencies[static_cast<std::size_t>(t)]);
+  }
+  result.throughput_per_s = result.seconds > 0
+                                ? static_cast<double>(result.total_acquires) / result.seconds
+                                : 0;
+  result.tpp = result.energy.total_joules() > 0
+                   ? static_cast<double>(result.total_acquires) / result.energy.total_joules()
+                   : 0;
+  return result;
+}
+
+}  // namespace lockin

@@ -1,0 +1,53 @@
+// Native measurement harness: runs the paper's microbenchmark shape (N
+// threads, L locks, C-cycle critical sections) against the *real* lock
+// library on the host, measuring throughput with the cycle counter and
+// energy through the EnergyMeter stack (RAPL when available, the model
+// otherwise). This is the harness a user with a multi-socket machine runs
+// to get paper-style numbers on real hardware; the simulator benches in
+// bench/ are its calibrated stand-in for this repository's 1-CPU CI host.
+#ifndef SRC_LOCKS_HARNESS_HPP_
+#define SRC_LOCKS_HARNESS_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/energy/energy_meter.hpp"
+#include "src/locks/lock_registry.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace lockin {
+
+struct NativeBenchConfig {
+  std::string lock_name = "MUTEXEE";
+  int threads = 2;
+  int locks = 1;
+  std::uint64_t cs_cycles = 1000;
+  std::uint64_t non_cs_cycles = 100;
+  // Wall-clock run length. The paper uses 10 s x 11 repetitions; tests and
+  // examples use much shorter runs.
+  std::uint64_t duration_ms = 100;
+  std::uint64_t seed = 1;
+  bool pin_threads = true;        // pin in the paper's socket-first order
+  bool record_latency = true;     // per-acquire rdtsc latency histogram
+  LockBuildOptions lock_options;  // pause kind, yield threshold, budgets
+};
+
+struct NativeBenchResult {
+  std::string lock_name;
+  double seconds = 0;
+  std::uint64_t total_acquires = 0;
+  double throughput_per_s = 0;
+  EnergySample energy;            // zero when no meter was supplied
+  double tpp = 0;                 // acquires/Joule (0 without a meter)
+  LatencyHistogram acquire_latency_cycles;
+};
+
+// Runs the workload. `meter` may be null (throughput only). Throws
+// std::invalid_argument for an unknown lock name.
+NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* meter = nullptr);
+
+}  // namespace lockin
+
+#endif  // SRC_LOCKS_HARNESS_HPP_

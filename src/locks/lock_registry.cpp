@@ -1,0 +1,62 @@
+#include "src/locks/lock_registry.hpp"
+
+#include "src/locks/backoff.hpp"
+#include "src/locks/clh.hpp"
+#include "src/locks/futex_lock.hpp"
+#include "src/locks/mcs.hpp"
+#include "src/locks/pthread_adapter.hpp"
+
+namespace lockin {
+
+std::unique_ptr<LockHandle> MakeLock(const std::string& name, const LockBuildOptions& options) {
+  if (name == "MUTEX") {
+    FutexLockConfig config;
+    config.spin_tries = options.mutex_spin_tries;
+    return std::make_unique<LockAdapter<FutexLock>>("MUTEX", config);
+  }
+  if (name == "PTHREAD") {
+    return std::make_unique<LockAdapter<PthreadMutex>>("PTHREAD");
+  }
+  if (name == "TAS") {
+    return std::make_unique<LockAdapter<TasLock>>("TAS", options.spin);
+  }
+  if (name == "TTAS") {
+    return std::make_unique<LockAdapter<TtasLock>>("TTAS", options.spin);
+  }
+  if (name == "TICKET") {
+    return std::make_unique<LockAdapter<TicketLock>>("TICKET", options.spin);
+  }
+  if (name == "MCS") {
+    return std::make_unique<LockAdapter<McsLock>>("MCS", options.spin);
+  }
+  if (name == "CLH") {
+    return std::make_unique<LockAdapter<ClhLock>>("CLH", options.spin);
+  }
+  if (name == "MUTEXEE") {
+    MutexeeConfig config = options.mutexee;
+    config.sleep_timeout_ns = 0;
+    return std::make_unique<LockAdapter<MutexeeLock>>("MUTEXEE", config);
+  }
+  if (name == "TAS-BO") {
+    BackoffConfig config;
+    config.pause = options.spin.pause;
+    config.yield_after = options.spin.yield_after;
+    return std::make_unique<LockAdapter<BackoffTasLock>>("TAS-BO", config);
+  }
+  if (name == "COHORT") {
+    CohortLock::Config config;
+    config.spin = options.spin;
+    return std::make_unique<LockAdapter<CohortLock>>("COHORT", config);
+  }
+  if (name == "MUTEXEE-TO") {
+    return std::make_unique<LockAdapter<MutexeeLock>>("MUTEXEE-TO", options.mutexee);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> RegisteredLockNames() {
+  return {"MUTEX",   "PTHREAD", "TAS",     "TTAS",       "TICKET", "MCS",
+          "CLH",     "TAS-BO",  "COHORT",  "MUTEXEE",    "MUTEXEE-TO"};
+}
+
+}  // namespace lockin

@@ -1,0 +1,39 @@
+// Runtime lock registry: paper lock names -> LockHandle factories.
+//
+// Benchmarks and the mini-systems select the lock algorithm by the name the
+// paper's figures use (MUTEX, TAS, TTAS, TICKET, MCS, CLH, MUTEXEE, ...),
+// mirroring how the paper swaps locks without touching the systems.
+#ifndef SRC_LOCKS_LOCK_REGISTRY_HPP_
+#define SRC_LOCKS_LOCK_REGISTRY_HPP_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/locks/lock_api.hpp"
+#include "src/locks/mutexee.hpp"
+#include "src/locks/spinlocks.hpp"
+
+namespace lockin {
+
+// Options applied at construction where the algorithm supports them.
+struct LockBuildOptions {
+  SpinConfig spin;           // spinlock pausing / yield policy
+  MutexeeConfig mutexee;     // MUTEXEE budgets, timeout, ablation switches
+  std::uint32_t mutex_spin_tries = 1;  // FutexLock pre-sleep attempts
+};
+
+// Creates a lock by paper name. Recognized names: "MUTEX" (FutexLock),
+// "PTHREAD" (glibc), "TAS", "TTAS", "TICKET", "MCS", "CLH", "MUTEXEE",
+// "MUTEXEE-TO" (MUTEXEE with the options' timeout). Returns nullptr for
+// unknown names.
+std::unique_ptr<LockHandle> MakeLock(const std::string& name,
+                                     const LockBuildOptions& options = {});
+
+// All registered lock names, in the paper's presentation order.
+std::vector<std::string> RegisteredLockNames();
+
+}  // namespace lockin
+
+#endif  // SRC_LOCKS_LOCK_REGISTRY_HPP_

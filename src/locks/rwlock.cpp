@@ -1,0 +1,94 @@
+#include "src/locks/rwlock.hpp"
+
+namespace lockin {
+
+void RwLock::lock_shared() {
+  for (;;) {
+    // Defer to waiting writers (writer preference).
+    if (waiting_writers_.load(std::memory_order_relaxed) == 0) {
+      std::uint32_t current = state_.load(std::memory_order_relaxed);
+      if ((current & kWriterBit) == 0) {
+        if (state_.compare_exchange_weak(current, current + 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+    }
+    const std::uint32_t gate = reader_gate_.load(std::memory_order_relaxed);
+    // Re-check after reading the gate to avoid a lost wake-up.
+    if (waiting_writers_.load(std::memory_order_relaxed) == 0 &&
+        (state_.load(std::memory_order_relaxed) & kWriterBit) == 0) {
+      continue;
+    }
+    FutexWait(&reader_gate_, gate);
+  }
+}
+
+bool RwLock::try_lock_shared() {
+  if (waiting_writers_.load(std::memory_order_relaxed) != 0) {
+    return false;
+  }
+  std::uint32_t current = state_.load(std::memory_order_relaxed);
+  while ((current & kWriterBit) == 0) {
+    if (state_.compare_exchange_weak(current, current + 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RwLock::unlock_shared() {
+  const std::uint32_t prior = state_.fetch_sub(1, std::memory_order_release);
+  if (prior == 1 && waiting_writers_.load(std::memory_order_relaxed) != 0) {
+    // Last reader out; hand the gate to a writer.
+    writer_gate_.fetch_add(1, std::memory_order_release);
+    FutexWake(&writer_gate_, 1);
+  }
+}
+
+void RwLock::lock() {
+  waiting_writers_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    std::uint32_t expected = 0;
+    if (state_.compare_exchange_strong(expected, kWriterBit, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      waiting_writers_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    const std::uint32_t gate = writer_gate_.load(std::memory_order_relaxed);
+    if (state_.load(std::memory_order_relaxed) == 0) {
+      continue;  // became free between the CAS and the gate read
+    }
+    FutexWait(&writer_gate_, gate);
+  }
+}
+
+bool RwLock::try_lock() {
+  std::uint32_t expected = 0;
+  return state_.compare_exchange_strong(expected, kWriterBit, std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+}
+
+void RwLock::unlock() {
+  state_.store(0, std::memory_order_release);
+  if (waiting_writers_.load(std::memory_order_relaxed) != 0) {
+    writer_gate_.fetch_add(1, std::memory_order_release);
+    FutexWake(&writer_gate_, 1);
+  } else {
+    reader_gate_.fetch_add(1, std::memory_order_release);
+    FutexWake(&reader_gate_, 1 << 30);
+  }
+}
+
+std::uint32_t RwLock::ActiveReaders() const {
+  const std::uint32_t current = state_.load(std::memory_order_relaxed);
+  return (current & kWriterBit) != 0 ? 0 : current;
+}
+
+bool RwLock::WriterHeld() const {
+  return (state_.load(std::memory_order_relaxed) & kWriterBit) != 0;
+}
+
+}  // namespace lockin

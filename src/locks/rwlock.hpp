@@ -1,0 +1,64 @@
+// Futex-based reader-writer lock.
+//
+// HamsterDB and Kyoto Cabinet in the paper's section 6 use pthread
+// reader-writer locks; the reproduction systems need a lock-library-native
+// equivalent. Writer-preferring: new readers queue behind a waiting writer
+// so write-heavy workloads (the WT configurations) are not starved.
+#ifndef SRC_LOCKS_RWLOCK_HPP_
+#define SRC_LOCKS_RWLOCK_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/futex/futex.hpp"
+#include "src/platform/cacheline.hpp"
+
+namespace lockin {
+
+class RwLock {
+ public:
+  RwLock() = default;
+
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
+  void lock_shared();
+  bool try_lock_shared();
+  void unlock_shared();
+
+  void lock();      // writer
+  bool try_lock();  // writer
+  void unlock();    // writer
+
+  // Diagnostics.
+  std::uint32_t ActiveReaders() const;
+  bool WriterHeld() const;
+
+ private:
+  static constexpr std::uint32_t kWriterBit = 1u << 31;
+
+  // state_: kWriterBit when a writer holds; else the active-reader count.
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> state_{0};
+  // Writers waiting; readers defer to them (writer preference).
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> waiting_writers_{0};
+  // Futex words readers/writers sleep on (state changes tick them).
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> reader_gate_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> writer_gate_{0};
+};
+
+// RAII shared guard.
+class SharedGuard {
+ public:
+  explicit SharedGuard(RwLock& lock) : lock_(lock) { lock_.lock_shared(); }
+  ~SharedGuard() { lock_.unlock_shared(); }
+
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+
+ private:
+  RwLock& lock_;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_LOCKS_RWLOCK_HPP_

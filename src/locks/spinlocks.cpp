@@ -1,0 +1,79 @@
+#include "src/locks/spinlocks.hpp"
+
+namespace lockin {
+namespace {
+
+// One spin-wait step: pause per the configured technique, yielding after
+// `iteration` exceeds the configured threshold.
+inline void SpinStep(const SpinConfig& config, std::uint32_t iteration) {
+  if (config.yield_after != 0 && iteration >= config.yield_after) {
+    SpinPause(PauseKind::kYield);
+  } else {
+    SpinPause(config.pause);
+  }
+}
+
+}  // namespace
+
+void TasLock::lock() {
+  // Global spinning: the exchange keeps the line in modified state and is
+  // the highest-power waiting mode measured in Figure 3.
+  std::uint32_t iteration = 0;
+  while (locked_.exchange(1, std::memory_order_acquire) != 0) {
+    SpinStep(config_, iteration++);
+  }
+}
+
+bool TasLock::try_lock() { return locked_.exchange(1, std::memory_order_acquire) == 0; }
+
+void TasLock::unlock() { locked_.store(0, std::memory_order_release); }
+
+void TtasLock::lock() {
+  std::uint32_t iteration = 0;
+  for (;;) {
+    if (locked_.load(std::memory_order_relaxed) == 0 &&
+        locked_.exchange(1, std::memory_order_acquire) == 0) {
+      return;
+    }
+    // Local spinning: wait on the cached copy until the line is invalidated
+    // by the release store.
+    while (locked_.load(std::memory_order_relaxed) != 0) {
+      SpinStep(config_, iteration++);
+    }
+  }
+}
+
+bool TtasLock::try_lock() {
+  return locked_.load(std::memory_order_relaxed) == 0 &&
+         locked_.exchange(1, std::memory_order_acquire) == 0;
+}
+
+void TtasLock::unlock() { locked_.store(0, std::memory_order_release); }
+
+void TicketLock::lock() {
+  const std::uint32_t my_ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  std::uint32_t iteration = 0;
+  while (now_serving_.load(std::memory_order_acquire) != my_ticket) {
+    SpinStep(config_, iteration++);
+  }
+}
+
+bool TicketLock::try_lock() {
+  std::uint32_t serving = now_serving_.load(std::memory_order_acquire);
+  std::uint32_t expected = serving;
+  // Acquire only when no one is queued: next_ticket == now_serving.
+  return next_ticket_.compare_exchange_strong(expected, serving + 1, std::memory_order_acquire,
+                                              std::memory_order_relaxed);
+}
+
+void TicketLock::unlock() {
+  now_serving_.fetch_add(1, std::memory_order_release);
+}
+
+std::uint32_t TicketLock::QueueLength() const {
+  const std::uint32_t next = next_ticket_.load(std::memory_order_relaxed);
+  const std::uint32_t serving = now_serving_.load(std::memory_order_relaxed);
+  return next - serving;
+}
+
+}  // namespace lockin

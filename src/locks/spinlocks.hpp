@@ -1,0 +1,85 @@
+// Simple spinlocks: TAS, TTAS and TICKET.
+//
+// Section 2 of the paper: "TAS spins with an atomic operation, continuously
+// trying to acquire the lock (global spinning). In contrast, all other
+// spinlocks spin with a load until the lock becomes free and only then try
+// to acquire the lock with an atomic operation (local spinning)."
+//
+// Every spinlock takes a SpinConfig so the pausing technique (Figure 4) and
+// an oversubscription escape hatch (yield after N spins) can be selected
+// per experiment; the defaults follow the paper (mfence pausing, no yield).
+#ifndef SRC_LOCKS_SPINLOCKS_HPP_
+#define SRC_LOCKS_SPINLOCKS_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/platform/cacheline.hpp"
+#include "src/platform/spin_hint.hpp"
+
+namespace lockin {
+
+struct SpinConfig {
+  PauseKind pause = PauseKind::kMfence;
+  // After this many spin iterations the waiter yields the CPU (0 = never).
+  // Pure spinning livelocks on oversubscribed hosts (section 6's MySQL and
+  // SQLite results); tests on small machines set a small threshold.
+  std::uint32_t yield_after = 0;
+};
+
+// Test-and-set lock: global spinning with an atomic exchange.
+class TasLock {
+ public:
+  TasLock() = default;
+  explicit TasLock(SpinConfig config) : config_(config) {}
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  SpinConfig config_{};
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> locked_{0};
+};
+
+// Test-and-test-and-set: local spinning on a cached read, atomic only when
+// the lock looks free.
+class TtasLock {
+ public:
+  TtasLock() = default;
+  explicit TtasLock(SpinConfig config) : config_(config) {}
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  SpinConfig config_{};
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> locked_{0};
+};
+
+// Ticket lock (Mellor-Crummey & Scott): FIFO-fair, local spinning on the
+// now-serving counter. Fairness is exactly what collapses under
+// oversubscription in the paper's Figure 11 and the MySQL/SQLite rows of
+// Figures 13-14.
+class TicketLock {
+ public:
+  TicketLock() = default;
+  explicit TicketLock(SpinConfig config) : config_(config) {}
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  // Number of threads waiting right now (approximate; diagnostics only).
+  std::uint32_t QueueLength() const;
+
+ private:
+  SpinConfig config_{};
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> next_ticket_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> now_serving_{0};
+};
+
+}  // namespace lockin
+
+#endif  // SRC_LOCKS_SPINLOCKS_HPP_

@@ -1,0 +1,149 @@
+#include "src/locks/tuner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/futex/futex.hpp"
+#include "src/platform/cacheline.hpp"
+#include "src/platform/cycles.hpp"
+#include "src/platform/spin_hint.hpp"
+#include "src/stats/summary.hpp"
+
+namespace lockin {
+namespace {
+
+constexpr int kRounds = 20;
+
+// Measures the latency from a FUTEX_WAKE call to the woken thread running,
+// plus the wake call itself: the paper's Figure 6 "turnaround" metric.
+void MeasureFutexLatencies(std::uint64_t* wake_call_cycles, std::uint64_t* turnaround_cycles) {
+  std::atomic<std::uint32_t> word{0};
+  std::atomic<std::uint64_t> woken_at{0};
+  std::atomic<bool> sleeper_ready{false};
+  std::atomic<bool> stop{false};
+
+  std::vector<double> wake_samples;
+  std::vector<double> turnaround_samples;
+
+  std::thread sleeper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      sleeper_ready.store(true, std::memory_order_release);
+      FutexWait(&word, 0);
+      woken_at.store(ReadCycles(), std::memory_order_release);
+      // Wait for the main thread to rearm.
+      while (word.load(std::memory_order_acquire) != 0 && !stop.load(std::memory_order_acquire)) {
+        SpinPause(PauseKind::kYield);
+      }
+    }
+  });
+
+  for (int round = 0; round < kRounds; ++round) {
+    while (!sleeper_ready.load(std::memory_order_acquire)) {
+      SpinPause(PauseKind::kYield);
+    }
+    sleeper_ready.store(false, std::memory_order_release);
+    // Give the sleeper time to actually block in the kernel (~the paper's
+    // 2100-cycle sleep latency, with margin for this host).
+    SpinForCycles(80000);
+    woken_at.store(0, std::memory_order_release);
+    word.store(1, std::memory_order_release);
+
+    const std::uint64_t wake_start = ReadCycles();
+    FutexWake(&word, 1);
+    const std::uint64_t wake_end = ReadCycles();
+
+    while (woken_at.load(std::memory_order_acquire) == 0) {
+      SpinPause(PauseKind::kYield);
+    }
+    const std::uint64_t ran_at = woken_at.load(std::memory_order_acquire);
+    wake_samples.push_back(static_cast<double>(wake_end - wake_start));
+    if (ran_at > wake_start) {
+      turnaround_samples.push_back(static_cast<double>(ran_at - wake_start));
+    }
+    word.store(0, std::memory_order_release);
+  }
+  stop.store(true, std::memory_order_release);
+  word.store(1, std::memory_order_release);
+  FutexWake(&word, 1);
+  sleeper.join();
+
+  *wake_call_cycles = static_cast<std::uint64_t>(Median(wake_samples));
+  *turnaround_cycles = static_cast<std::uint64_t>(Median(turnaround_samples));
+}
+
+// Measures one contended cache-line hop by ping-ponging a word between two
+// threads. On single-CPU hosts this degenerates to scheduler latency; the
+// derived grace budget is clamped below.
+std::uint64_t MeasureLineTransfer() {
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> token{0};
+  std::atomic<bool> stop{false};
+  constexpr std::uint64_t kHops = 600;
+
+  std::thread partner([&] {
+    std::uint64_t expected = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (token.load(std::memory_order_acquire) == expected) {
+        token.store(expected + 1, std::memory_order_release);
+        expected += 2;
+      } else {
+        SpinPause(PauseKind::kYield);
+      }
+    }
+  });
+
+  const std::uint64_t start = ReadCycles();
+  std::uint64_t expected = 2;
+  token.store(1, std::memory_order_release);
+  for (std::uint64_t hop = 0; hop < kHops; ++hop) {
+    while (token.load(std::memory_order_acquire) != expected) {
+      SpinPause(PauseKind::kYield);
+    }
+    token.store(expected + 1, std::memory_order_release);
+    expected += 2;
+  }
+  const std::uint64_t elapsed = ReadCycles() - start;
+  stop.store(true, std::memory_order_release);
+  partner.join();
+  return elapsed / (kHops * 2);
+}
+
+}  // namespace
+
+std::string TunerReport::ToString() const {
+  std::ostringstream out;
+  out << "futex wake call: " << futex_wake_call_cycles << " cycles\n"
+      << "futex turnaround: " << futex_turnaround_cycles << " cycles\n"
+      << "cache-line transfer: " << line_transfer_cycles << " cycles\n"
+      << "derived MUTEXEE config:\n"
+      << "  spin_mode_lock_cycles  = " << config.spin_mode_lock_cycles << "\n"
+      << "  spin_mode_grace_cycles = " << config.spin_mode_grace_cycles << "\n"
+      << "  mutex_mode_lock_cycles = " << config.mutex_mode_lock_cycles << "\n"
+      << "  mutex_mode_grace_cycles= " << config.mutex_mode_grace_cycles << "\n";
+  return out.str();
+}
+
+TunerReport RunMutexeeTuner() {
+  TunerReport report;
+  MeasureFutexLatencies(&report.futex_wake_call_cycles, &report.futex_turnaround_cycles);
+  report.line_transfer_cycles = MeasureLineTransfer();
+
+  // Derivations (see header). Clamp to sane ranges so a noisy or
+  // single-CPU host cannot produce a pathological configuration.
+  const std::uint64_t spin_budget = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(1.15 * static_cast<double>(report.futex_turnaround_cycles)),
+      4000, 65536);
+  const std::uint64_t grace = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(1.4 * static_cast<double>(report.line_transfer_cycles)), 128,
+      2048);
+
+  report.config.spin_mode_lock_cycles = spin_budget;
+  report.config.spin_mode_grace_cycles = grace;
+  report.config.mutex_mode_lock_cycles = std::max<std::uint64_t>(spin_budget / 32, 128);
+  report.config.mutex_mode_grace_cycles = std::max<std::uint64_t>(grace / 3, 64);
+  return report;
+}
+
+}  // namespace lockin

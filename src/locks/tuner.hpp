@@ -1,0 +1,41 @@
+// MUTEXEE platform tuner.
+//
+// Paper, section 5.1: "in order to allow developers to fine-tune MUTEXEE
+// for a platform, we provide a script which runs the necessary
+// microbenchmarks and reports the configuration parameters that can be used
+// for that platform." This is that script, as a library: it measures the
+// futex turnaround latency and the cache-line transfer latency on the host
+// and derives the spin and grace budgets.
+#ifndef SRC_LOCKS_TUNER_HPP_
+#define SRC_LOCKS_TUNER_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "src/locks/mutexee.hpp"
+
+namespace lockin {
+
+struct TunerReport {
+  // Measured on this host.
+  std::uint64_t futex_wake_call_cycles = 0;   // latency of the FUTEX_WAKE call
+  std::uint64_t futex_turnaround_cycles = 0;  // wake invocation -> woken thread running
+  std::uint64_t line_transfer_cycles = 0;     // one contended cache-line hop
+
+  // Derived configuration.
+  MutexeeConfig config;
+
+  std::string ToString() const;
+};
+
+// Runs the tuning microbenchmarks (a few hundred milliseconds) and derives
+// a MutexeeConfig for this platform:
+//   * lock spin budget ~= 1.15x the futex turnaround latency (spinning any
+//     shorter risks sleeping for waits cheaper than the sleep itself);
+//   * unlock grace ~= 1.4x one cache-line transfer (the maximum coherence
+//     latency the release store plus the grab need).
+TunerReport RunMutexeeTuner();
+
+}  // namespace lockin
+
+#endif  // SRC_LOCKS_TUNER_HPP_

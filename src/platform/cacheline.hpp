@@ -1,0 +1,33 @@
+// Cache-line constants and alignment helpers.
+//
+// Locks in this library pad their shared state to a cache line so that
+// contended and uncontended fields never share a line (false sharing is one
+// of the power/throughput pathologies the paper measures in section 4.1).
+#ifndef SRC_PLATFORM_CACHELINE_HPP_
+#define SRC_PLATFORM_CACHELINE_HPP_
+
+#include <cstddef>
+
+namespace lockin {
+
+// x86-64 cache lines are 64 bytes; adjacent-line prefetch makes 128-byte
+// padding the conservative choice for heavily contended words.
+inline constexpr std::size_t kCacheLineSize = 64;
+inline constexpr std::size_t kContendedPad = 128;
+
+// Wraps a value in its own cache line. Use for per-thread slots in arrays
+// (e.g. MCS queue nodes) where neighbouring slots would otherwise share a
+// line and turn local spinning into global coherence traffic.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace lockin
+
+#endif  // SRC_PLATFORM_CACHELINE_HPP_

@@ -1,0 +1,56 @@
+#include "src/platform/cycles.hpp"
+
+#include <chrono>
+
+namespace lockin {
+namespace {
+
+double CalibrateCyclesPerNs() {
+  using Clock = std::chrono::steady_clock;
+  // Two short calibration rounds; take the second (warm) one.
+  double rate = 1.0;
+  for (int round = 0; round < 2; ++round) {
+    const auto t0 = Clock::now();
+    const std::uint64_t c0 = ReadCycles();
+    // Busy-wait ~2 ms of wall time.
+    while (std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count() <
+           2000) {
+    }
+    const std::uint64_t c1 = ReadCycles();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count();
+    if (ns > 0 && c1 > c0) {
+      rate = static_cast<double>(c1 - c0) / static_cast<double>(ns);
+    }
+  }
+  return rate;
+}
+
+}  // namespace
+
+double CyclesPerNs() {
+  static const double rate = CalibrateCyclesPerNs();
+  return rate;
+}
+
+std::uint64_t CyclesToNs(std::uint64_t cycles) {
+  return static_cast<std::uint64_t>(static_cast<double>(cycles) / CyclesPerNs());
+}
+
+std::uint64_t NsToCycles(std::uint64_t ns) {
+  return static_cast<std::uint64_t>(static_cast<double>(ns) * CyclesPerNs());
+}
+
+void SpinForCycles(std::uint64_t cycles) {
+  const std::uint64_t start = ReadCycles();
+  while (ReadCycles() - start < cycles) {
+  }
+}
+
+std::uint64_t FallbackCycleClock() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace lockin

@@ -1,0 +1,58 @@
+// Small deterministic PRNGs for workload generation.
+//
+// Benchmarks need per-thread generators that are fast (a handful of cycles,
+// so they do not distort "N-cycle critical section" workloads) and seedable
+// (the median-of-11 methodology reruns the same workload).
+#ifndef SRC_PLATFORM_RNG_HPP_
+#define SRC_PLATFORM_RNG_HPP_
+
+#include <cstdint>
+
+namespace lockin {
+
+// SplitMix64: used to seed Xoshiro and for one-off hashing.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace lockin
+
+#endif  // SRC_PLATFORM_RNG_HPP_

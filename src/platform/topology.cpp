@@ -1,0 +1,139 @@
+#include "src/platform/topology.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace lockin {
+namespace {
+
+// Reads a small integer file like /sys/devices/system/cpu/cpu0/topology/core_id.
+// Returns `fallback` when the file is missing (containers often hide sysfs).
+int ReadIntFile(const std::string& path, int fallback) {
+  std::ifstream in(path);
+  int value = fallback;
+  if (in && (in >> value)) {
+    return value;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+Topology::Topology(int sockets, int cores_per_socket, int smt_per_core)
+    : sockets_(sockets), cores_per_socket_(cores_per_socket), smt_per_core_(smt_per_core) {
+  int os_cpu = 0;
+  // Synthetic OS ids follow the common Linux enumeration: first hyper-threads
+  // of every core of every socket, then the second hyper-threads.
+  for (int smt = 0; smt < smt_per_core; ++smt) {
+    for (int socket = 0; socket < sockets; ++socket) {
+      for (int core = 0; core < cores_per_socket; ++core) {
+        cpus_.push_back(CpuInfo{os_cpu++, socket, core, smt});
+      }
+    }
+  }
+}
+
+Topology Topology::Detect() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  const int ncpu = n > 0 ? static_cast<int>(n) : 1;
+
+  std::vector<CpuInfo> cpus;
+  int max_socket = 0;
+  bool sysfs_ok = true;
+  for (int cpu = 0; cpu < ncpu; ++cpu) {
+    std::ostringstream base;
+    base << "/sys/devices/system/cpu/cpu" << cpu << "/topology/";
+    const int socket = ReadIntFile(base.str() + "physical_package_id", -1);
+    const int core = ReadIntFile(base.str() + "core_id", -1);
+    if (socket < 0 || core < 0) {
+      sysfs_ok = false;
+      break;
+    }
+    max_socket = std::max(max_socket, socket);
+    cpus.push_back(CpuInfo{cpu, socket, core, 0});
+  }
+
+  if (!sysfs_ok || cpus.empty()) {
+    return Topology(1, ncpu, 1);
+  }
+
+  // Assign SMT indices: CPUs sharing (socket, core) are hyper-threads.
+  std::vector<CpuInfo> sorted = cpus;
+  std::sort(sorted.begin(), sorted.end(), [](const CpuInfo& a, const CpuInfo& b) {
+    if (a.socket != b.socket) {
+      return a.socket < b.socket;
+    }
+    if (a.core != b.core) {
+      return a.core < b.core;
+    }
+    return a.os_cpu < b.os_cpu;
+  });
+  int smt_max = 1;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    int smt = 0;
+    for (std::size_t j = i; j > 0; --j) {
+      if (sorted[j - 1].socket == sorted[i].socket && sorted[j - 1].core == sorted[i].core) {
+        ++smt;
+      } else {
+        break;
+      }
+    }
+    sorted[i].smt_index = smt;
+    smt_max = std::max(smt_max, smt + 1);
+  }
+
+  // Count distinct cores on socket 0 to derive cores_per_socket.
+  int cores_socket0 = 0;
+  int last_core = -1;
+  for (const CpuInfo& c : sorted) {
+    if (c.socket == 0 && c.smt_index == 0 && c.core != last_core) {
+      ++cores_socket0;
+      last_core = c.core;
+    }
+  }
+  if (cores_socket0 == 0) {
+    cores_socket0 = ncpu;
+  }
+
+  Topology topo(max_socket + 1, cores_socket0, smt_max);
+  topo.cpus_ = sorted;
+  return topo;
+}
+
+std::vector<CpuInfo> Topology::PinningOrder() const {
+  std::vector<CpuInfo> order = cpus_;
+  std::sort(order.begin(), order.end(), [](const CpuInfo& a, const CpuInfo& b) {
+    if (a.smt_index != b.smt_index) {
+      return a.smt_index < b.smt_index;
+    }
+    if (a.socket != b.socket) {
+      return a.socket < b.socket;
+    }
+    if (a.core != b.core) {
+      return a.core < b.core;
+    }
+    return a.os_cpu < b.os_cpu;
+  });
+  return order;
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream out;
+  out << sockets_ << " socket(s) x " << cores_per_socket_ << " core(s) x " << smt_per_core_
+      << " thread(s) = " << total_contexts() << " hardware contexts";
+  return out.str();
+}
+
+bool PinThreadToCpu(int os_cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(os_cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace lockin

@@ -1,0 +1,51 @@
+#include "src/sim/engine.hpp"
+
+#include <utility>
+
+namespace lockin {
+
+EventId SimEngine::Schedule(SimTime delay, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{now_ + delay, id, std::move(fn)});
+  return id;
+}
+
+void SimEngine::Cancel(EventId id) { cancelled_.insert(id); }
+
+void SimEngine::RunUntil(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > until) {
+      break;
+    }
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    Event event = top;  // copy out before pop invalidates the reference
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void SimEngine::RunAll() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    Event event = top;
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+  }
+}
+
+}  // namespace lockin

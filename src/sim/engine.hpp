@@ -1,0 +1,68 @@
+// Discrete-event simulation engine.
+//
+// A minimal calendar: events are (time, callback) pairs executed in
+// timestamp order (FIFO among equal timestamps). The machine model, futex
+// model and lock models all schedule against one engine, so a whole
+// benchmark run is a deterministic event sequence -- repeatable bit-for-bit
+// across runs, which the tests rely on.
+#ifndef SRC_SIM_ENGINE_HPP_
+#define SRC_SIM_ENGINE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace lockin {
+
+using SimTime = std::uint64_t;  // cycles
+using EventId = std::uint64_t;
+
+class SimEngine {
+ public:
+  SimEngine() = default;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` cycles from now. Returns a handle that
+  // Cancel() accepts.
+  EventId Schedule(SimTime delay, std::function<void()> fn);
+
+  // Cancels a pending event; no-op if it already ran or was cancelled.
+  void Cancel(EventId id);
+
+  // Runs events until the queue drains or `until` is passed (events with
+  // timestamp > until stay queued and now() stops at `until`).
+  void RunUntil(SimTime until);
+
+  // Runs until the queue is empty.
+  void RunAll();
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return id > other.id;  // FIFO among equal timestamps
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_SIM_ENGINE_HPP_

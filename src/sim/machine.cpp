@@ -1,0 +1,296 @@
+#include "src/sim/machine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lockin {
+
+SimMachine::SimMachine(SimEngine* engine, Topology topology, PowerParams power_params,
+                       SimParams sim_params)
+    : engine_(engine),
+      power_model_(std::move(topology), power_params),
+      params_(sim_params),
+      contexts_(power_model_.topology().total_contexts()),
+      ctx_states_(power_model_.topology().total_contexts(), ActivityState::kInactive) {}
+
+void SimMachine::AccumulateEnergy() {
+  const SimTime now = engine_->now();
+  if (now > last_energy_time_) {
+    const double dt =
+        static_cast<double>(now - last_energy_time_) / params_.cycles_per_second;
+    const std::vector<VfSetting> vf(ctx_states_.size(), vf_);
+    const PowerModel::Breakdown watts = power_model_.ComponentWatts(ctx_states_, vf);
+    energy_.package_joules += watts.package_w * dt;
+    energy_.dram_joules += watts.dram_w * dt;
+    energy_.seconds += dt;
+    for (const ActivityState state : ctx_states_) {
+      state_seconds_[static_cast<std::size_t>(state)] += dt;
+    }
+  }
+  last_energy_time_ = now;
+}
+
+void SimMachine::SetContextState(int ctx, ActivityState state) {
+  if (ctx_states_[ctx] != state) {
+    AccumulateEnergy();
+    ctx_states_[ctx] = state;
+  }
+}
+
+int SimMachine::AddThread() {
+  threads_.emplace_back();
+  return static_cast<int>(threads_.size()) - 1;
+}
+
+void SimMachine::Start(int tid) {
+  Thread& t = threads_[tid];
+  assert(t.state == ThreadState::kNotStarted);
+  t.state = ThreadState::kReady;
+  ready_.push_back(tid);
+  Dispatch();
+}
+
+void SimMachine::Dispatch() {
+  while (!ready_.empty()) {
+    int free_ctx = -1;
+    for (int c = 0; c < static_cast<int>(contexts_.size()); ++c) {
+      if (contexts_[c].tid < 0) {
+        free_ctx = c;
+        break;
+      }
+    }
+    if (free_ctx < 0) {
+      // Oversubscribed with waiters: make sure every occupied context has a
+      // preemption timer so the ready threads eventually rotate in.
+      for (Context& c : contexts_) {
+        if (c.tid >= 0 && c.quantum_event == 0) {
+          const int ctx_index = static_cast<int>(&c - contexts_.data());
+          c.quantum_event = engine_->Schedule(params_.scheduler_quantum_cycles,
+                                              [this, ctx_index] {
+                                                contexts_[ctx_index].quantum_event = 0;
+                                                OnQuantumExpired(ctx_index);
+                                              });
+        }
+      }
+      return;
+    }
+    const int tid = ready_.front();
+    ready_.pop_front();
+    Place(tid, free_ctx);
+  }
+}
+
+void SimMachine::Place(int tid, int ctx) {
+  Thread& t = threads_[tid];
+  t.state = ThreadState::kRunning;
+  t.ctx = ctx;
+  contexts_[ctx].tid = tid;
+  SetContextState(ctx, t.activity);
+  ArmQuantum(ctx);
+
+  // Fire scheduling waiters (FIFO lock handovers, etc.) before resuming
+  // work: a pending handover may cancel the spin work.
+  if (!t.on_running.empty()) {
+    std::vector<std::function<void()>> callbacks;
+    callbacks.swap(t.on_running);
+    for (auto& fn : callbacks) {
+      fn();
+    }
+  }
+  if (threads_[tid].state == ThreadState::kRunning) {
+    ResumeWork(tid);
+  }
+}
+
+void SimMachine::ArmQuantum(int ctx) {
+  Context& c = contexts_[ctx];
+  if (c.quantum_event != 0) {
+    engine_->Cancel(c.quantum_event);
+    c.quantum_event = 0;
+  }
+  // A preemption timer is only needed while someone waits for a context;
+  // arming unconditionally would keep the event queue alive forever.
+  if (ready_.empty()) {
+    return;
+  }
+  c.quantum_event = engine_->Schedule(params_.scheduler_quantum_cycles, [this, ctx] {
+    contexts_[ctx].quantum_event = 0;
+    OnQuantumExpired(ctx);
+  });
+}
+
+void SimMachine::OnQuantumExpired(int ctx) {
+  const int tid = contexts_[ctx].tid;
+  if (tid < 0 || ready_.empty()) {
+    return;  // nothing to rotate; re-armed on demand by Dispatch
+  }
+  // Rotate: running thread to the ready tail, next ready thread in.
+  Thread& t = threads_[tid];
+  PauseWork(tid);
+  RemoveFromContext(tid);
+  t.state = ThreadState::kReady;
+  ready_.push_back(tid);
+  const int next = ready_.front();
+  ready_.pop_front();
+  Place(next, ctx);
+}
+
+void SimMachine::RemoveFromContext(int tid) {
+  Thread& t = threads_[tid];
+  if (t.ctx >= 0) {
+    contexts_[t.ctx].tid = -1;
+    if (contexts_[t.ctx].quantum_event != 0) {
+      engine_->Cancel(contexts_[t.ctx].quantum_event);
+      contexts_[t.ctx].quantum_event = 0;
+    }
+    SetContextState(t.ctx, ActivityState::kInactive);
+    t.ctx = -1;
+  }
+}
+
+void SimMachine::PauseWork(int tid) {
+  Thread& t = threads_[tid];
+  if (!t.has_work || t.work_event == 0) {
+    return;
+  }
+  engine_->Cancel(t.work_event);
+  t.work_event = 0;
+  if (t.remaining != kInfiniteWork) {
+    const SimTime elapsed = engine_->now() - t.resumed_at;
+    t.remaining = elapsed >= t.remaining ? 0 : t.remaining - elapsed;
+  }
+}
+
+void SimMachine::ResumeWork(int tid) {
+  Thread& t = threads_[tid];
+  if (!t.has_work || t.work_event != 0) {
+    return;
+  }
+  t.resumed_at = engine_->now();
+  if (t.remaining == kInfiniteWork) {
+    return;  // open-ended spin: no completion event
+  }
+  // Context-switch cost is charged to the first slice after each placement;
+  // folding it into the work keeps the accounting simple and conservative.
+  t.work_event = engine_->Schedule(t.remaining, [this, tid] {
+    Thread& thread = threads_[tid];
+    thread.work_event = 0;
+    thread.has_work = false;
+    thread.remaining = 0;
+    std::function<void()> done;
+    done.swap(thread.done);
+    if (done) {
+      done();
+    }
+  });
+}
+
+void SimMachine::RunFor(int tid, std::uint64_t cycles, ActivityState activity,
+                        std::function<void()> done) {
+  Thread& t = threads_[tid];
+  assert(!t.has_work && "RunFor while work pending");
+  t.has_work = true;
+  t.remaining = cycles;
+  t.done = std::move(done);
+  t.activity = activity;
+  if (t.state == ThreadState::kRunning) {
+    SetContextState(t.ctx, activity);
+    ResumeWork(tid);
+  }
+}
+
+void SimMachine::CancelWork(int tid) {
+  Thread& t = threads_[tid];
+  if (!t.has_work) {
+    return;
+  }
+  if (t.work_event != 0) {
+    engine_->Cancel(t.work_event);
+    t.work_event = 0;
+  }
+  t.has_work = false;
+  t.remaining = 0;
+  t.done = nullptr;
+}
+
+void SimMachine::SetActivity(int tid, ActivityState activity) {
+  Thread& t = threads_[tid];
+  t.activity = activity;
+  if (t.state == ThreadState::kRunning) {
+    SetContextState(t.ctx, activity);
+  }
+}
+
+void SimMachine::Block(int tid, ActivityState blocked_state) {
+  Thread& t = threads_[tid];
+  assert(t.state == ThreadState::kRunning && "Block requires a running thread");
+  assert(!t.has_work && "Block with work pending");
+  RemoveFromContext(tid);
+  t.state = ThreadState::kBlocked;
+  t.activity = blocked_state;
+  Dispatch();
+}
+
+void SimMachine::Unblock(int tid, std::uint64_t delay) {
+  engine_->Schedule(delay, [this, tid] {
+    Thread& t = threads_[tid];
+    if (t.state != ThreadState::kBlocked) {
+      return;
+    }
+    t.state = ThreadState::kReady;
+    ready_.push_back(tid);
+    Dispatch();
+  });
+}
+
+void SimMachine::NotifyWhenRunning(int tid, std::function<void()> fn) {
+  Thread& t = threads_[tid];
+  if (t.state == ThreadState::kRunning) {
+    fn();
+    return;
+  }
+  t.on_running.push_back(std::move(fn));
+}
+
+SimMachine::EnergyTotals SimMachine::Energy() {
+  AccumulateEnergy();
+  return energy_;
+}
+
+void SimMachine::ResetEnergy() {
+  AccumulateEnergy();
+  energy_ = EnergyTotals{};
+}
+
+std::vector<double> SimMachine::StateSeconds() {
+  AccumulateEnergy();
+  return state_seconds_;
+}
+
+double SimMachine::ActiveShare(ActivityState state) {
+  AccumulateEnergy();
+  double active = 0.0;
+  for (int i = 0; i < kActivityStateCount; ++i) {
+    const auto s = static_cast<ActivityState>(i);
+    if (s != ActivityState::kInactive && s != ActivityState::kSleeping &&
+        s != ActivityState::kDeepSleep) {
+      active += state_seconds_[static_cast<std::size_t>(i)];
+    }
+  }
+  if (active <= 0.0) {
+    return 0.0;
+  }
+  return state_seconds_[static_cast<std::size_t>(state)] / active;
+}
+
+int SimMachine::ActiveContexts() const {
+  int active = 0;
+  for (const Context& c : contexts_) {
+    if (c.tid >= 0) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+}  // namespace lockin

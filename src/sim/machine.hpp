@@ -1,0 +1,156 @@
+// Simulated multi-core machine: hardware contexts, an oversubscription-aware
+// scheduler, CPU-time accounting and energy integration.
+//
+// Threads execute *CPU work* (RunFor) interleaved with blocking (futex
+// sleep). The scheduler places runnable threads onto hardware contexts in
+// the paper's pinning order; when runnable threads exceed contexts it
+// rotates them with a Linux-like quantum -- the mechanism behind the
+// paper's oversubscription collapses (Figure 11 beyond 40 threads, the
+// MySQL/SQLite rows of Figures 13-15).
+//
+// Energy: each context carries an ActivityState; the PowerModel is
+// integrated over the piecewise-constant machine state, exactly like RAPL
+// integrates real power. This is the simulated counterpart of
+// ActivityRegistry (src/energy/model_meter.hpp).
+#ifndef SRC_SIM_MACHINE_HPP_
+#define SRC_SIM_MACHINE_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/energy/power_model.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/params.hpp"
+
+namespace lockin {
+
+class SimMachine {
+ public:
+  static constexpr std::uint64_t kInfiniteWork = ~0ULL;
+
+  SimMachine(SimEngine* engine, Topology topology, PowerParams power_params,
+             SimParams sim_params);
+
+  SimEngine& engine() { return *engine_; }
+  const SimParams& params() const { return params_; }
+  const Topology& topology() const { return power_model_.topology(); }
+  int contexts() const { return topology().total_contexts(); }
+
+  // Global DVFS point used for power integration (Figure 2's min/max runs).
+  void SetVf(VfSetting vf) { vf_ = vf; }
+
+  // --- Threads -------------------------------------------------------------
+  // Adds a thread in the not-started state; returns its id.
+  int AddThread();
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+  // Makes the thread runnable for the first time.
+  void Start(int tid);
+
+  // Executes `cycles` of CPU time in `activity`, then calls `done`. CPU time
+  // only advances while the thread holds a hardware context; preemption
+  // pauses the clock. kInfiniteWork spins until CancelWork.
+  void RunFor(int tid, std::uint64_t cycles, ActivityState activity,
+              std::function<void()> done);
+
+  // Cancels outstanding RunFor work without invoking its callback (a lock
+  // granting to a spinning waiter uses this to end the spin).
+  void CancelWork(int tid);
+
+  // Updates the activity (power state) without touching remaining work.
+  void SetActivity(int tid, ActivityState activity);
+
+  // Releases the thread's context; the thread stops consuming CPU. Only
+  // valid for a running thread with no outstanding work.
+  void Block(int tid, ActivityState blocked_state = ActivityState::kSleeping);
+
+  // Makes a blocked thread runnable `delay` cycles from now.
+  void Unblock(int tid, std::uint64_t delay);
+
+  bool IsRunning(int tid) const { return threads_[tid].state == ThreadState::kRunning; }
+  bool IsReady(int tid) const { return threads_[tid].state == ThreadState::kReady; }
+  bool IsBlocked(int tid) const { return threads_[tid].state == ThreadState::kBlocked; }
+
+  // Invokes `fn` the next time `tid` is placed on a context (immediately if
+  // already running). Used for FIFO lock handover to a descheduled waiter.
+  void NotifyWhenRunning(int tid, std::function<void()> fn);
+
+  // --- Energy ---------------------------------------------------------------
+  struct EnergyTotals {
+    double package_joules = 0.0;
+    double dram_joules = 0.0;
+    double seconds = 0.0;
+    double total_joules() const { return package_joules + dram_joules; }
+    double average_watts() const { return seconds > 0 ? total_joules() / seconds : 0.0; }
+  };
+
+  // Integrates up to now() and returns the running totals.
+  EnergyTotals Energy();
+  void ResetEnergy();
+
+  // Context-seconds spent in each activity state (integrated alongside the
+  // energy). Section 6.1 of the paper quantifies MUTEX's kernel time this
+  // way: "SQLite spends more than 40% of the CPU time on the raw spin lock
+  // function of the kernel ... MUTEXEE spends just 4%".
+  std::vector<double> StateSeconds();
+  // Share of *active* context time spent in `state` (0 when nothing ran).
+  double ActiveShare(ActivityState state);
+
+  double NowSeconds() const {
+    return static_cast<double>(engine_->now()) / params_.cycles_per_second;
+  }
+
+  // Contexts currently active (diagnostics / CPI-style reporting).
+  int ActiveContexts() const;
+
+ private:
+  enum class ThreadState { kNotStarted, kRunning, kReady, kBlocked };
+
+  struct Thread {
+    ThreadState state = ThreadState::kNotStarted;
+    int ctx = -1;
+    ActivityState activity = ActivityState::kInactive;
+    // Outstanding work.
+    bool has_work = false;
+    std::uint64_t remaining = 0;  // kInfiniteWork for open-ended spinning
+    std::function<void()> done;
+    EventId work_event = 0;       // pending completion event (running only)
+    SimTime resumed_at = 0;       // when the current work slice started
+    std::vector<std::function<void()>> on_running;
+  };
+
+  struct Context {
+    int tid = -1;
+    EventId quantum_event = 0;
+  };
+
+  void AccumulateEnergy();
+  void Dispatch();
+  void Place(int tid, int ctx);
+  void RemoveFromContext(int tid);
+  void PauseWork(int tid);
+  void ResumeWork(int tid);
+  void OnQuantumExpired(int ctx);
+  void ArmQuantum(int ctx);
+  void SetContextState(int ctx, ActivityState state);
+
+  SimEngine* engine_;
+  PowerModel power_model_;
+  SimParams params_;
+  VfSetting vf_ = VfSetting::kMax;
+
+  std::vector<Thread> threads_;
+  std::vector<Context> contexts_;
+  std::vector<ActivityState> ctx_states_;
+  std::deque<int> ready_;
+
+  SimTime last_energy_time_ = 0;
+  EnergyTotals energy_;
+  std::vector<double> state_seconds_ = std::vector<double>(kActivityStateCount, 0.0);
+};
+
+}  // namespace lockin
+
+#endif  // SRC_SIM_MACHINE_HPP_

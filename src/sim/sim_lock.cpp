@@ -1,0 +1,471 @@
+#include "src/sim/sim_lock.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lockin {
+
+// ---------------------------------------------------------------------------
+// SimSpinLock
+// ---------------------------------------------------------------------------
+
+SimSpinLock::SimSpinLock(SimMachine* machine, SimSpinLockConfig config)
+    : SimLock(machine), config_(std::move(config)), rng_(config_.rng_seed) {}
+
+std::uint64_t SimSpinLock::HandoverDelay() const {
+  const SimParams& p = machine_->params();
+  const std::uint64_t base = 2 * p.line_transfer_cycles;  // invalidate + refill
+  switch (config_.handover) {
+    case SimSpinLockConfig::Handover::kQueue:
+      return base;
+    case SimSpinLockConfig::Handover::kBroadcast:
+      return base + p.burst_per_waiter_cycles * waiters_.size();
+    case SimSpinLockConfig::Handover::kAtomicStorm:
+      // The winner's exchange must beat every other waiter's continuous
+      // atomics, so the handover itself degrades with the waiter count.
+      return base + (p.burst_per_waiter_cycles + p.tas_release_per_waiter_cycles) *
+                        waiters_.size();
+    case SimSpinLockConfig::Handover::kBackoff:
+      // Backed-off waiters probe rarely: the storm is gone, but the winner
+      // pays half an average backoff window of re-probe latency.
+      return base + p.burst_per_waiter_cycles * waiters_.size() / 4 + 400;
+    case SimSpinLockConfig::Handover::kCohort:
+      // Most handovers stay within the socket (one intra-socket transfer);
+      // cohort-budget expiries cross sockets. Modeled as the blended cost.
+      return p.line_transfer_cycles + p.burst_per_waiter_cycles * waiters_.size() / 8 +
+             p.max_coherence_cycles / 16;
+  }
+  return base;
+}
+
+std::uint64_t SimSpinLock::ReleaseCost() const {
+  const SimParams& p = machine_->params();
+  if (config_.handover == SimSpinLockConfig::Handover::kAtomicStorm) {
+    // The release store must win the line against continuous atomics.
+    return p.tas_release_per_waiter_cycles * waiters_.size();
+  }
+  return 0;
+}
+
+void SimSpinLock::Acquire(int tid, std::function<void()> on_acquired) {
+  if (!held_ && waiters_.empty()) {
+    held_ = true;
+    stats_.acquires++;
+    stats_.spin_handovers++;
+    machine_->RunFor(tid, config_.uncontested_cycles, ActivityState::kCritical,
+                     std::move(on_acquired));
+    return;
+  }
+  waiters_.push_back(Waiter{tid, std::move(on_acquired)});
+  machine_->RunFor(tid, SimMachine::kInfiniteWork, config_.spin_state, nullptr);
+}
+
+void SimSpinLock::FinalizeGrant(Waiter waiter) {
+  machine_->CancelWork(waiter.tid);
+  stats_.acquires++;
+  stats_.spin_handovers++;
+  waiter.on_acquired();
+}
+
+void SimSpinLock::GrantTo(Waiter waiter, std::uint64_t delay) {
+  const std::uint64_t epoch = ++grant_epoch_;
+  machine_->engine().Schedule(delay, [this, waiter = std::move(waiter), epoch]() mutable {
+    (void)epoch;
+    if (machine_->IsRunning(waiter.tid)) {
+      FinalizeGrant(std::move(waiter));
+      return;
+    }
+    // The chosen waiter is descheduled: the handover stalls until the
+    // scheduler puts it back on a context (the FIFO convoy of Figure 11).
+    const int tid = waiter.tid;
+    machine_->NotifyWhenRunning(tid, [this, waiter = std::move(waiter)]() mutable {
+      FinalizeGrant(std::move(waiter));
+    });
+  });
+}
+
+void SimSpinLock::Release(int tid, std::function<void()> on_released) {
+  assert(held_);
+  const std::uint64_t release_cost = ReleaseCost();
+  if (waiters_.empty()) {
+    held_ = false;
+    if (release_cost > 0) {
+      machine_->RunFor(tid, release_cost, config_.spin_state, std::move(on_released));
+    } else {
+      on_released();
+    }
+    return;
+  }
+
+  // Pick the next owner.
+  std::size_t index = 0;
+  if (config_.discipline == SimSpinLockConfig::Discipline::kRandom) {
+    // Barging: only a waiter that is on a context can win the race. Prefer a
+    // random running waiter; fall back to FIFO when all are descheduled.
+    std::vector<std::size_t> running;
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+      if (machine_->IsRunning(waiters_[i].tid)) {
+        running.push_back(i);
+      }
+    }
+    if (!running.empty()) {
+      index = running[rng_.NextBelow(running.size())];
+    }
+  }
+  Waiter next = std::move(waiters_[index]);
+  waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(index));
+  // held_ stays true: ownership passes directly.
+  GrantTo(std::move(next), HandoverDelay());
+
+  if (release_cost > 0) {
+    machine_->RunFor(tid, release_cost, config_.spin_state, std::move(on_released));
+  } else {
+    on_released();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimFutexMutex
+// ---------------------------------------------------------------------------
+
+SimFutexMutex::SimFutexMutex(SimMachine* machine, SimFutexMutexConfig config)
+    : SimLock(machine), config_(std::move(config)), futex_(machine), rng_(config_.rng_seed) {}
+
+// Spinners race with CAS: the winner is effectively random among the ones
+// currently on a hardware context. Returns -1 when none qualifies.
+int SimFutexMutex::PopRandomRunningSpinner() {
+  std::vector<std::size_t> running;
+  for (std::size_t i = 0; i < spinners_.size(); ++i) {
+    if (machine_->IsRunning(spinners_[i])) {
+      running.push_back(i);
+    }
+  }
+  if (running.empty()) {
+    return -1;
+  }
+  const std::size_t index = running[rng_.NextBelow(running.size())];
+  const int tid = spinners_[index];
+  spinners_.erase(spinners_.begin() + static_cast<std::ptrdiff_t>(index));
+  return tid;
+}
+
+void SimFutexMutex::TakeOwnership(int tid, bool via_futex) {
+  held_ = true;
+  stats_.acquires++;
+  if (via_futex) {
+    stats_.futex_handovers++;
+  } else {
+    stats_.spin_handovers++;
+  }
+  auto it = pending_.find(tid);
+  assert(it != pending_.end());
+  std::function<void()> cb = std::move(it->second);
+  pending_.erase(it);
+  cb();
+}
+
+void SimFutexMutex::Acquire(int tid, std::function<void()> on_acquired) {
+  if (!held_) {
+    // Barging: arrivals take a free lock immediately, even past sleepers.
+    held_ = true;
+    stats_.acquires++;
+    stats_.spin_handovers++;
+    machine_->RunFor(tid, config_.uncontested_cycles, ActivityState::kCritical,
+                     std::move(on_acquired));
+    return;
+  }
+  pending_[tid] = std::move(on_acquired);
+  spinners_.push_back(tid);
+  machine_->RunFor(tid, config_.spin_cycles, config_.spin_state, [this, tid] {
+    // Spin budget exhausted: go to sleep.
+    auto it = std::find(spinners_.begin(), spinners_.end(), tid);
+    if (it != spinners_.end()) {
+      spinners_.erase(it);
+      EnterSleepLoop(tid);
+    }
+  });
+}
+
+void SimFutexMutex::EnterSleepLoop(int tid) {
+  futex_.Sleep(tid, 0, [this, tid](SimFutex::WakeReason) {
+    // Running again: retry the acquire.
+    if (!held_) {
+      TakeOwnership(tid, /*via_futex=*/true);
+      return;
+    }
+    // Lock stolen during the turnaround (a third thread barged before the
+    // woken thread was ready to execute, section 5.1). glibc retries its
+    // short spin phase before sleeping again, keeping the context active
+    // and adding contention -- then wastes another futex round-trip.
+    stats_.resleeps++;
+    spinners_.push_back(tid);
+    machine_->RunFor(tid, config_.spin_cycles, config_.spin_state, [this, tid] {
+      auto it = std::find(spinners_.begin(), spinners_.end(), tid);
+      if (it != spinners_.end()) {
+        spinners_.erase(it);
+        EnterSleepLoop(tid);
+      }
+    });
+  });
+}
+
+void SimFutexMutex::TryGrantToSpinner() {
+  if (held_ || spinners_.empty()) {
+    return;
+  }
+  const int tid = PopRandomRunningSpinner();
+  if (tid < 0) {
+    return;
+  }
+  machine_->CancelWork(tid);
+  TakeOwnership(tid, /*via_futex=*/false);
+}
+
+void SimFutexMutex::Release(int tid, std::function<void()> on_released) {
+  assert(held_);
+  held_ = false;
+  const bool have_sleepers = futex_.sleeper_count() > 0 || futex_.entering_count() > 0;
+
+  if (!spinners_.empty()) {
+    // A spinner observes the release after the line transfers plus the CAS
+    // race among all concurrently retrying spinners.
+    const SimParams& p = machine_->params();
+    const std::uint64_t delay =
+        2 * p.line_transfer_cycles + p.burst_per_waiter_cycles * spinners_.size();
+    machine_->engine().Schedule(delay, [this] { TryGrantToSpinner(); });
+  }
+  if (have_sleepers) {
+    // The wake call sits on the releaser's critical path -- MUTEX's core
+    // inefficiency for short critical sections.
+    futex_.Wake(tid, 1, std::move(on_released));
+    return;
+  }
+  on_released();
+}
+
+// ---------------------------------------------------------------------------
+// SimMutexee
+// ---------------------------------------------------------------------------
+
+SimMutexee::SimMutexee(SimMachine* machine, SimMutexeeConfig config)
+    : SimLock(machine), config_(std::move(config)), futex_(machine), rng_(config_.rng_seed) {}
+
+int SimMutexee::PopRandomRunningSpinner() {
+  std::vector<std::size_t> running;
+  for (std::size_t i = 0; i < spinners_.size(); ++i) {
+    if (machine_->IsRunning(spinners_[i])) {
+      running.push_back(i);
+    }
+  }
+  if (running.empty()) {
+    return -1;
+  }
+  const std::size_t index = running[rng_.NextBelow(running.size())];
+  const int tid = spinners_[index];
+  spinners_.erase(spinners_.begin() + static_cast<std::ptrdiff_t>(index));
+  return tid;
+}
+
+void SimMutexee::RecordWindow(bool futex_handover) {
+  window_acquires_++;
+  if (futex_handover) {
+    window_futex_++;
+  }
+  if (window_acquires_ >= config_.base.adapt_period) {
+    const double ratio =
+        static_cast<double>(window_futex_) / static_cast<double>(window_acquires_);
+    mode_ = ratio > config_.base.futex_ratio_threshold ? MutexeeLock::Mode::kMutex
+                                                       : MutexeeLock::Mode::kSpin;
+    window_acquires_ = 0;
+    window_futex_ = 0;
+  }
+}
+
+void SimMutexee::TakeOwnership(int tid, int kind) {
+  held_ = true;
+  stats_.acquires++;
+  switch (kind) {
+    case 0:
+      stats_.spin_handovers++;
+      break;
+    case 1:
+      stats_.futex_handovers++;
+      break;
+    default:
+      stats_.timeout_handovers++;
+      break;
+  }
+  RecordWindow(kind == 1);
+  auto it = pending_.find(tid);
+  assert(it != pending_.end());
+  std::function<void()> cb = std::move(it->second);
+  pending_.erase(it);
+  cb();
+}
+
+void SimMutexee::Acquire(int tid, std::function<void()> on_acquired) {
+  if (!held_) {
+    held_ = true;
+    stats_.acquires++;
+    stats_.spin_handovers++;
+    RecordWindow(false);
+    machine_->RunFor(tid, config_.uncontested_cycles, ActivityState::kCritical,
+                     std::move(on_acquired));
+    return;
+  }
+  pending_[tid] = std::move(on_acquired);
+  spinners_.push_back(tid);
+  const std::uint64_t budget = mode_ == MutexeeLock::Mode::kSpin
+                                   ? config_.base.spin_mode_lock_cycles
+                                   : config_.base.mutex_mode_lock_cycles;
+  machine_->RunFor(tid, budget, ActivityState::kSpinMbar, [this, tid] {
+    auto it = std::find(spinners_.begin(), spinners_.end(), tid);
+    if (it != spinners_.end()) {
+      spinners_.erase(it);
+      EnterSleepLoop(tid);
+    }
+  });
+}
+
+void SimMutexee::EnterSleepLoop(int tid) {
+  const std::uint64_t timeout_cycles =
+      config_.base.sleep_timeout_ns == 0
+          ? 0
+          : static_cast<std::uint64_t>(static_cast<double>(config_.base.sleep_timeout_ns) *
+                                       machine_->params().cycles_per_second / 1e9);
+  futex_.Sleep(tid, timeout_cycles, [this, tid](SimFutex::WakeReason reason) {
+    if (reason == SimFutex::WakeReason::kTimedOut) {
+      // Timeout protocol: spin until acquired; never sleep again.
+      BecomePersistentSpinner(tid);
+      return;
+    }
+    if (!held_) {
+      TakeOwnership(tid, /*kind=*/1);
+      return;
+    }
+    stats_.resleeps++;
+    EnterSleepLoop(tid);
+  });
+}
+
+void SimMutexee::BecomePersistentSpinner(int tid) {
+  if (!held_) {
+    TakeOwnership(tid, /*kind=*/2);
+    return;
+  }
+  spinners_.push_back(tid);
+  machine_->RunFor(tid, SimMachine::kInfiniteWork, ActivityState::kSpinMbar, nullptr);
+}
+
+void SimMutexee::Release(int tid, std::function<void()> on_released) {
+  assert(held_);
+  // User-space handover: the defining MUTEXEE fast path. The spinners race
+  // with CAS, so the recipient is a random *running* spinner. No futex
+  // calls; sleepers keep sleeping (fairness traded for energy, sec 4.4).
+  const int next = PopRandomRunningSpinner();
+  if (next >= 0) {
+    const SimParams& p = machine_->params();
+    const std::uint64_t delay =
+        2 * p.line_transfer_cycles + p.burst_per_waiter_cycles * spinners_.size();
+    machine_->engine().Schedule(delay, [this, next] {
+      machine_->CancelWork(next);
+      held_ = false;  // momentary; TakeOwnership re-sets it
+      TakeOwnership(next, /*kind=*/0);
+    });
+    on_released();
+    return;
+  }
+
+  held_ = false;
+  const bool have_sleepers = futex_.sleeper_count() > 0 || futex_.entering_count() > 0;
+  if (!have_sleepers) {
+    on_released();
+    return;
+  }
+  if (!config_.base.enable_unlock_grace) {
+    futex_.Wake(tid, 1, std::move(on_released));
+    return;
+  }
+  // Grace window: wait ~the maximum coherence latency in user space; if an
+  // arriving thread takes the lock meanwhile, skip the wake entirely.
+  const std::uint64_t grace = mode_ == MutexeeLock::Mode::kSpin
+                                  ? config_.base.spin_mode_grace_cycles
+                                  : config_.base.mutex_mode_grace_cycles;
+  machine_->RunFor(tid, grace, ActivityState::kSpinMbar,
+                   [this, tid, on_released = std::move(on_released)]() mutable {
+                     if (held_) {
+                       stats_.wake_skips++;
+                       on_released();
+                       return;
+                     }
+                     futex_.Wake(tid, 1, std::move(on_released));
+                   });
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SimLock> MakeSimLock(const std::string& name, SimMachine* machine,
+                                     const SimLockOptions& options) {
+  if (name == "MUTEX") {
+    SimFutexMutexConfig config;
+    config.spin_cycles = options.mutex_spin_cycles;
+    return std::make_unique<SimFutexMutex>(machine, config);
+  }
+  if (name == "MUTEXEE" || name == "MUTEXEE-TO") {
+    SimMutexeeConfig config;
+    config.base = options.mutexee;
+    config.name = name;
+    if (name == "MUTEXEE") {
+      config.base.sleep_timeout_ns = 0;
+    }
+    return std::make_unique<SimMutexee>(machine, config);
+  }
+
+  SimSpinLockConfig config;
+  config.rng_seed = options.rng_seed;
+  config.name = name;
+  config.uncontested_cycles = 65;  // Table 2: simple spinlocks ~17 Macq/s
+  if (name == "TAS") {
+    config.discipline = SimSpinLockConfig::Discipline::kRandom;
+    config.handover = SimSpinLockConfig::Handover::kAtomicStorm;
+    config.spin_state = ActivityState::kSpinGlobal;
+    return std::make_unique<SimSpinLock>(machine, config);
+  }
+  if (name == "TTAS") {
+    config.discipline = SimSpinLockConfig::Discipline::kRandom;
+    config.handover = SimSpinLockConfig::Handover::kBroadcast;
+    config.spin_state = ActivityState::kSpinMbar;
+    return std::make_unique<SimSpinLock>(machine, config);
+  }
+  if (name == "TICKET") {
+    config.discipline = SimSpinLockConfig::Discipline::kFifo;
+    config.handover = SimSpinLockConfig::Handover::kBroadcast;
+    config.spin_state = ActivityState::kSpinMbar;
+    return std::make_unique<SimSpinLock>(machine, config);
+  }
+  if (name == "TAS-BO") {
+    config.discipline = SimSpinLockConfig::Discipline::kRandom;
+    config.handover = SimSpinLockConfig::Handover::kBackoff;
+    config.spin_state = ActivityState::kSpinMbar;  // waiters mostly paused
+    return std::make_unique<SimSpinLock>(machine, config);
+  }
+  if (name == "COHORT") {
+    config.discipline = SimSpinLockConfig::Discipline::kFifo;
+    config.handover = SimSpinLockConfig::Handover::kCohort;
+    config.spin_state = ActivityState::kSpinMbar;
+    config.uncontested_cycles = 110;  // two-level acquire path
+    return std::make_unique<SimSpinLock>(machine, config);
+  }
+  if (name == "MCS" || name == "CLH") {
+    config.discipline = SimSpinLockConfig::Discipline::kFifo;
+    config.handover = SimSpinLockConfig::Handover::kQueue;
+    config.spin_state = ActivityState::kSpinMbar;
+    config.uncontested_cycles = 132;  // queue-node management (Table 2: ~12 Macq/s)
+    return std::make_unique<SimSpinLock>(machine, config);
+  }
+  return nullptr;
+}
+
+}  // namespace lockin

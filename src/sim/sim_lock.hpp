@@ -1,0 +1,215 @@
+// Simulated lock algorithms.
+//
+// Each lock model reproduces the *handover behaviour* of its native
+// counterpart in src/locks: who waits in which power state, what a release
+// costs, who gets the lock next, and when futexes are involved. The models
+// are event-driven against SimMachine/SimFutex; their parameters are the
+// paper's measured latencies (src/sim/params.hpp).
+//
+// The discipline/handover distinctions that drive the paper's results:
+//   * TAS: global spinning, random grant, release pays for the atomic storm;
+//   * TTAS: local spinning, random grant, release triggers an invalidation
+//     burst proportional to the number of waiters;
+//   * TICKET: local spinning, FIFO grant, same burst; FIFO is what collapses
+//     under oversubscription (a descheduled next-in-line stalls everyone);
+//   * MCS/CLH: local spinning on a private line, FIFO, constant handover;
+//   * MUTEX: spin a few hundred cycles then futex-sleep; release wakes one
+//     sleeper (wake call on the releaser's critical path) and any arriving
+//     thread can barge, sending the woken thread straight back to sleep;
+//   * MUTEXEE: spin ~8000 cycles (mfence pausing), user-space handover to a
+//     spinning waiter whenever one exists, grace-window before waking a
+//     sleeper, spin/mutex mode adaptation, optional sleep timeout.
+#ifndef SRC_SIM_SIM_LOCK_HPP_
+#define SRC_SIM_SIM_LOCK_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/locks/mutexee.hpp"
+#include "src/platform/rng.hpp"
+#include "src/sim/futex_model.hpp"
+#include "src/sim/machine.hpp"
+
+namespace lockin {
+
+struct SimLockStats {
+  std::uint64_t acquires = 0;
+  std::uint64_t spin_handovers = 0;
+  std::uint64_t futex_handovers = 0;
+  std::uint64_t timeout_handovers = 0;
+  std::uint64_t wake_skips = 0;
+  std::uint64_t resleeps = 0;  // woken threads that found the lock taken
+};
+
+class SimLock {
+ public:
+  explicit SimLock(SimMachine* machine) : machine_(machine) {}
+  virtual ~SimLock() = default;
+
+  // The calling thread (running) requests the lock; `on_acquired` fires,
+  // with the thread running, once it owns the lock.
+  virtual void Acquire(int tid, std::function<void()> on_acquired) = 0;
+
+  // Releases the lock; `on_released` fires when the release path (user-space
+  // store, plus any futex wake / grace wait) has finished on the releaser.
+  virtual void Release(int tid, std::function<void()> on_released) = 0;
+
+  virtual std::string name() const = 0;
+
+  const SimLockStats& stats() const { return stats_; }
+  virtual const SimFutex::Stats* futex_stats() const { return nullptr; }
+
+ protected:
+  SimMachine* machine_;
+  SimLockStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Spinlocks (TAS / TTAS / TICKET / MCS / CLH).
+// ---------------------------------------------------------------------------
+struct SimSpinLockConfig {
+  enum class Discipline { kFifo, kRandom };
+  enum class Handover {
+    kQueue,      // constant-cost private-line handover (MCS, CLH)
+    kBroadcast,  // invalidation burst over all waiters (TTAS, TICKET)
+    kAtomicStorm,// TAS: burst + expensive release under contention
+    kBackoff,    // TAS-BO: backoff drains the storm; adds re-probe latency
+    kCohort      // COHORT: intra-socket handover most of the time
+  };
+  Discipline discipline = Discipline::kFifo;
+  Handover handover = Handover::kBroadcast;
+  ActivityState spin_state = ActivityState::kSpinMbar;
+  std::string name = "TICKET";
+  std::uint64_t rng_seed = 42;
+  // Uncontested acquire+release overhead; differs per algorithm complexity
+  // (Table 2 of the paper: simple spinlocks ~17 Macq/s single-threaded,
+  // MCS ~12 Macq/s because of queue-node management).
+  std::uint64_t uncontested_cycles = 65;
+};
+
+class SimSpinLock final : public SimLock {
+ public:
+  SimSpinLock(SimMachine* machine, SimSpinLockConfig config);
+
+  void Acquire(int tid, std::function<void()> on_acquired) override;
+  void Release(int tid, std::function<void()> on_released) override;
+  std::string name() const override { return config_.name; }
+
+ private:
+  struct Waiter {
+    int tid;
+    std::function<void()> on_acquired;
+  };
+
+  std::uint64_t HandoverDelay() const;
+  std::uint64_t ReleaseCost() const;
+  void GrantTo(Waiter waiter, std::uint64_t delay);
+  void FinalizeGrant(Waiter waiter);
+
+  SimSpinLockConfig config_;
+  Xoshiro256 rng_;
+  bool held_ = false;
+  std::deque<Waiter> waiters_;
+  // Guards against double-grant when a random-discipline grant is parked on
+  // multiple NotifyWhenRunning callbacks.
+  std::uint64_t grant_epoch_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MUTEX (futex-based, glibc protocol).
+// ---------------------------------------------------------------------------
+struct SimFutexMutexConfig {
+  std::uint64_t spin_cycles = 300;  // "threads spin up to a few hundred cycles"
+  ActivityState spin_state = ActivityState::kSpinPause;  // glibc uses pause
+  std::string name = "MUTEX";
+  // Sanity checks + sleeper bookkeeping make MUTEX slower than simple
+  // spinlocks even uncontested (Table 2: 11.88 vs ~17 Macq/s).
+  std::uint64_t uncontested_cycles = 135;
+  std::uint64_t rng_seed = 42;
+};
+
+class SimFutexMutex final : public SimLock {
+ public:
+  SimFutexMutex(SimMachine* machine, SimFutexMutexConfig config);
+
+  void Acquire(int tid, std::function<void()> on_acquired) override;
+  void Release(int tid, std::function<void()> on_released) override;
+  std::string name() const override { return config_.name; }
+  const SimFutex::Stats* futex_stats() const override { return &futex_.stats(); }
+
+ private:
+  void EnterSleepLoop(int tid);
+  void TryGrantToSpinner();
+  void TakeOwnership(int tid, bool via_futex);
+  int PopRandomRunningSpinner();
+
+  SimFutexMutexConfig config_;
+  SimFutex futex_;
+  Xoshiro256 rng_;
+  bool held_ = false;
+  std::deque<int> spinners_;
+  std::unordered_map<int, std::function<void()>> pending_;  // tid -> on_acquired
+};
+
+// ---------------------------------------------------------------------------
+// MUTEXEE.
+// ---------------------------------------------------------------------------
+struct SimMutexeeConfig {
+  MutexeeConfig base;           // budgets/timeout/adaptation shared with native
+  std::string name = "MUTEXEE";
+  // Cheaper than MUTEX (no waiter bookkeeping on the fast path) but pays
+  // for periodic adaptation (Table 2: 13.32 vs 11.88 / ~17 Macq/s).
+  std::uint64_t uncontested_cycles = 110;
+  std::uint64_t rng_seed = 42;
+};
+
+class SimMutexee final : public SimLock {
+ public:
+  SimMutexee(SimMachine* machine, SimMutexeeConfig config);
+
+  void Acquire(int tid, std::function<void()> on_acquired) override;
+  void Release(int tid, std::function<void()> on_released) override;
+  std::string name() const override { return config_.name; }
+  const SimFutex::Stats* futex_stats() const override { return &futex_.stats(); }
+
+  MutexeeLock::Mode mode() const { return mode_; }
+
+ private:
+  void EnterSleepLoop(int tid);
+  void BecomePersistentSpinner(int tid);
+  void TakeOwnership(int tid, int kind);  // 0 spin, 1 futex, 2 timeout
+  void RecordWindow(bool futex_handover);
+  int PopRandomRunningSpinner();
+
+  SimMutexeeConfig config_;
+  SimFutex futex_;
+  Xoshiro256 rng_;
+  bool held_ = false;
+  std::deque<int> spinners_;
+  std::unordered_map<int, std::function<void()>> pending_;
+  MutexeeLock::Mode mode_ = MutexeeLock::Mode::kSpin;
+  std::uint64_t window_acquires_ = 0;
+  std::uint64_t window_futex_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Factory: paper lock names -> simulated locks.
+// ---------------------------------------------------------------------------
+struct SimLockOptions {
+  MutexeeConfig mutexee;            // budgets / timeout for MUTEXEE variants
+  std::uint64_t mutex_spin_cycles = 300;
+  std::uint64_t rng_seed = 42;
+};
+
+// Names: MUTEX, TAS, TTAS, TICKET, MCS, CLH, TAS-BO, COHORT, MUTEXEE,
+// MUTEXEE-TO.
+std::unique_ptr<SimLock> MakeSimLock(const std::string& name, SimMachine* machine,
+                                     const SimLockOptions& options = {});
+
+}  // namespace lockin
+
+#endif  // SRC_SIM_SIM_LOCK_HPP_

@@ -1,0 +1,85 @@
+// Waiting-technique experiments (paper sections 3-4, Figures 2-7 and the
+// section 4.4 sleep-power table).
+//
+// These drive the power model and the futex model directly -- they are the
+// simulated counterparts of the paper's microbenchmarks that characterize
+// the *primitives* (spinning, pausing, DVFS, mwait, futex) before any lock
+// algorithm is involved.
+#ifndef SRC_SIM_WAITING_HPP_
+#define SRC_SIM_WAITING_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/energy/power_model.hpp"
+#include "src/sim/params.hpp"
+
+namespace lockin {
+
+// --- Figure 2: power breakdown of the memory-intensive workload ------------
+struct PowerBreakdownPoint {
+  int threads;
+  double total_w;
+  double package_w;
+  double cores_w;
+  double dram_w;
+};
+
+// Power with `threads` hyper-threads running memory-intensive work in the
+// paper's pinning order, at the given VF setting.
+PowerBreakdownPoint PowerBreakdown(const PowerModel& model, int threads, VfSetting vf);
+
+// --- Figures 3-5: power and CPI while waiting --------------------------------
+// Cycles-per-instruction of each waiting technique, as measured in the
+// paper: local spinning retires ~1 load/cycle; pause raises CPI to 4.6;
+// a memory barrier stalls the loop on the load's retirement; global
+// spinning's atomic ops take ~530 cycles each.
+double WaitingCpi(ActivityState state);
+
+// Power with `threads` threads waiting in `state` (lock never released,
+// Figure 3/4/5 shape). Sleeping threads release their contexts.
+double WaitingPowerWatts(const PowerModel& model, int threads, ActivityState state);
+
+// --- Figure 6: futex latencies ------------------------------------------------
+struct FutexLatencyPoint {
+  std::uint64_t delay_cycles;       // sleep-invocation -> wake-invocation gap
+  double wake_call_cycles;          // duration of the FUTEX_WAKE call
+  double turnaround_cycles;         // wake invocation -> woken thread running
+};
+
+// Simulates the paper's two-thread lock-step futex microbenchmark for one
+// delay value (median over `rounds` rounds).
+FutexLatencyPoint MeasureFutexLatency(std::uint64_t delay_cycles, int rounds = 15);
+
+// --- Section 4.4 table: power vs period between wake-ups ---------------------
+struct SleepPowerPoint {
+  std::uint64_t period_cycles;
+  double watts;
+  double sleep_miss_ratio;  // fraction of sleeps that missed (EAGAIN)
+};
+
+// One thread repeatedly futex-sleeps; a second wakes it every
+// `period_cycles`. Power falls only once the period exceeds the sleep
+// latency (~2100 cycles on the paper's Xeon).
+SleepPowerPoint MeasureSleepPower(std::uint64_t period_cycles,
+                                  std::uint64_t duration_cycles = 56000000);
+
+// --- Figure 7: sleep vs spin vs spin-then-sleep (ss-T) ------------------------
+struct SpinThenSleepPoint {
+  int threads;
+  std::uint64_t spin_quota;  // T: busy-wait handovers per futex handover
+  double watts;
+  double handovers_per_s;
+};
+
+// Token-passing communication benchmark: `spin_quota` == 0 reproduces the
+// "sleep" series (every handover through futex); kSpinOnly reproduces the
+// "spin" series (all threads busy-wait); otherwise two threads hand over in
+// user space and swap in a sleeper every T handovers (ss-T).
+inline constexpr std::uint64_t kSpinOnly = ~0ULL;
+SpinThenSleepPoint MeasureSpinThenSleep(int threads, std::uint64_t spin_quota,
+                                        std::uint64_t duration_cycles = 28000000);
+
+}  // namespace lockin
+
+#endif  // SRC_SIM_WAITING_HPP_

@@ -1,0 +1,40 @@
+// Text-table and CSV emitters for benchmark output.
+//
+// Every bench binary prints the same rows/series the paper's figures plot.
+// TextTable right-aligns numeric columns for terminal reading; the same
+// data can be dumped as CSV for external plotting.
+#ifndef SRC_STATS_TABLE_HPP_
+#define SRC_STATS_TABLE_HPP_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lockin {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with `precision` digits after the point.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 2);
+
+  void Print(std::ostream& out) const;
+  void PrintCsv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (helper shared by benches).
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace lockin
+
+#endif  // SRC_STATS_TABLE_HPP_

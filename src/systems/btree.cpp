@@ -1,0 +1,181 @@
+#include "src/systems/btree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lockin {
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>()) {}
+
+BPlusTree::~BPlusTree() = default;
+
+BPlusTree::Node* BPlusTree::FindLeaf(std::uint64_t key) const {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    const std::size_t index = static_cast<std::size_t>(it - node->keys.begin());
+    node = node->children[index].get();
+  }
+  return node;
+}
+
+void BPlusTree::SplitChild(Node* parent, int index) {
+  Node* child = parent->children[static_cast<std::size_t>(index)].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  const std::size_t mid = child->keys.size() / 2;
+
+  std::uint64_t separator;
+  if (child->leaf) {
+    // Leaf split: right keeps [mid, end); separator is right's first key
+    // (duplicated upward, B+-tree style).
+    right->keys.assign(child->keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                       child->keys.end());
+    right->values.assign(child->values.begin() + static_cast<std::ptrdiff_t>(mid),
+                         child->values.end());
+    child->keys.resize(mid);
+    child->values.resize(mid);
+    right->next_leaf = child->next_leaf;
+    child->next_leaf = right.get();
+    separator = right->keys.front();
+  } else {
+    // Internal split: the middle key moves up.
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                       child->keys.end());
+    for (std::size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+
+  parent->keys.insert(parent->keys.begin() + index, separator);
+  parent->children.insert(parent->children.begin() + index + 1, std::move(right));
+}
+
+bool BPlusTree::InsertNonFull(Node* node, std::uint64_t key, std::string value) {
+  if (node->leaf) {
+    const auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const std::size_t index = static_cast<std::size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+      node->values[index] = std::move(value);
+      return false;  // overwrite
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + static_cast<std::ptrdiff_t>(index),
+                        std::move(value));
+    return true;
+  }
+  const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+  std::size_t index = static_cast<std::size_t>(it - node->keys.begin());
+  if (node->children[index]->keys.size() >= kOrder) {
+    SplitChild(node, static_cast<int>(index));
+    if (key >= node->keys[index]) {
+      ++index;
+    }
+  }
+  return InsertNonFull(node->children[index].get(), key, std::move(value));
+}
+
+bool BPlusTree::Put(std::uint64_t key, std::string value) {
+  if (root_->keys.size() >= kOrder) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+    ++height_;
+  }
+  const bool inserted = InsertNonFull(root_.get(), key, std::move(value));
+  if (inserted) {
+    ++size_;
+  }
+  return inserted;
+}
+
+bool BPlusTree::Get(std::uint64_t key, std::string* out) const {
+  const Node* leaf = FindLeaf(key);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return false;
+  }
+  if (out != nullptr) {
+    *out = leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
+  }
+  return true;
+}
+
+bool BPlusTree::Erase(std::uint64_t key) {
+  Node* leaf = FindLeaf(key);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return false;
+  }
+  const std::size_t index = static_cast<std::size_t>(it - leaf->keys.begin());
+  leaf->keys.erase(it);
+  leaf->values.erase(leaf->values.begin() + static_cast<std::ptrdiff_t>(index));
+  --size_;
+  return true;
+}
+
+void BPlusTree::Scan(std::uint64_t first, std::uint64_t last,
+                     const std::function<bool(std::uint64_t, const std::string&)>& fn) const {
+  const Node* leaf = FindLeaf(first);
+  while (leaf != nullptr) {
+    for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+      const std::uint64_t key = leaf->keys[i];
+      if (key < first) {
+        continue;
+      }
+      if (key > last) {
+        return;
+      }
+      if (!fn(key, leaf->values[i])) {
+        return;
+      }
+    }
+    leaf = leaf->next_leaf;
+  }
+}
+
+bool BPlusTree::CheckNode(const Node* node, std::uint64_t lo, std::uint64_t hi, int depth,
+                          int* leaf_depth) const {
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
+    return false;
+  }
+  for (std::uint64_t key : node->keys) {
+    if (key < lo || key > hi) {
+      return false;
+    }
+  }
+  if (node->leaf) {
+    if (node->values.size() != node->keys.size()) {
+      return false;
+    }
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    }
+    return *leaf_depth == depth;
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return false;
+  }
+  std::uint64_t child_lo = lo;
+  for (std::size_t i = 0; i < node->children.size(); ++i) {
+    const std::uint64_t child_hi =
+        i < node->keys.size() ? node->keys[i] : hi;
+    if (!CheckNode(node->children[i].get(), child_lo, child_hi, depth + 1, leaf_depth)) {
+      return false;
+    }
+    child_lo = i < node->keys.size() ? node->keys[i] : child_lo;
+  }
+  return true;
+}
+
+bool BPlusTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  return CheckNode(root_.get(), 0, std::numeric_limits<std::uint64_t>::max(), 0, &leaf_depth);
+}
+
+}  // namespace lockin

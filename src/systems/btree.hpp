@@ -1,0 +1,73 @@
+// In-memory B+-tree: the storage engine under the HamsterDB- and Kyoto-
+// style mini-systems (the paper's embedded stores are B-tree/hash engines
+// guarded by coarse pthread locks).
+//
+// Single-writer data structure: callers provide external synchronization
+// (KvStore wraps it with a pluggable lock, which is the point of the
+// experiment). Order-16 nodes, keys are uint64, values are strings.
+#ifndef SRC_SYSTEMS_BTREE_HPP_
+#define SRC_SYSTEMS_BTREE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lockin {
+
+class BPlusTree {
+ public:
+  static constexpr int kOrder = 16;  // max keys per node
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  // Inserts or overwrites; returns true when the key was new.
+  bool Put(std::uint64_t key, std::string value);
+
+  // Copies the value into *out; false when absent.
+  bool Get(std::uint64_t key, std::string* out) const;
+
+  // Removes the key; false when absent. (Leaves may underflow; the tree
+  // rebalances lazily on the next split, like several embedded engines.)
+  bool Erase(std::uint64_t key);
+
+  // In-order visit of [first, last]; stops early if fn returns false.
+  void Scan(std::uint64_t first, std::uint64_t last,
+            const std::function<bool(std::uint64_t, const std::string&)>& fn) const;
+
+  std::size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  // Structural invariant check for tests: sorted keys, children in range,
+  // leaves at uniform depth. Returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::uint64_t> keys;
+    std::vector<std::unique_ptr<Node>> children;  // internal: keys.size()+1
+    std::vector<std::string> values;              // leaf: parallel to keys
+    Node* next_leaf = nullptr;                    // leaf chain for scans
+  };
+
+  Node* FindLeaf(std::uint64_t key) const;
+  // Splits `child` (index i of `parent`), hoisting the separator key.
+  void SplitChild(Node* parent, int index);
+  bool InsertNonFull(Node* node, std::uint64_t key, std::string value);
+  bool CheckNode(const Node* node, std::uint64_t lo, std::uint64_t hi, int depth,
+                 int* leaf_depth) const;
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_SYSTEMS_BTREE_HPP_

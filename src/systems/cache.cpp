@@ -1,0 +1,86 @@
+#include "src/systems/cache.hpp"
+
+#include <functional>
+
+namespace lockin {
+
+MemCache::MemCache(const LockFactory& make_lock, Config config)
+    : config_(config), lru_lock_(make_lock()) {
+  shards_.resize(config_.shards);
+  for (Shard& shard : shards_) {
+    shard.lock = make_lock();
+  }
+}
+
+MemCache::Shard& MemCache::ShardFor(const std::string& key) {
+  const std::size_t hash = std::hash<std::string>{}(key);
+  return shards_[hash % shards_.size()];
+}
+
+void MemCache::EvictIfNeeded() {
+  // Called with lru_lock_ held. Approximate LRU: scan a victim shard for
+  // the oldest ticket (memcached similarly approximates with segmented LRU).
+  if (size_.load(std::memory_order_relaxed) <= config_.capacity) {
+    return;
+  }
+  Shard& victim_shard = shards_[lru_clock_ % shards_.size()];
+  HandleGuard shard_guard(*victim_shard.lock);
+  const std::string* victim_key = nullptr;
+  std::uint64_t oldest = ~0ULL;
+  for (const auto& [key, item] : victim_shard.items) {
+    if (item.lru_ticket < oldest) {
+      oldest = item.lru_ticket;
+      victim_key = &key;
+    }
+  }
+  if (victim_key != nullptr) {
+    victim_shard.items.erase(*victim_key);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    ++evictions_;
+  }
+}
+
+void MemCache::Set(const std::string& key, std::string value) {
+  // Every SET crosses the global LRU lock -- the contention point the
+  // paper's SET-heavy Memcached workload exposes.
+  HandleGuard lru_guard(*lru_lock_);
+  const std::uint64_t ticket = ++lru_clock_;
+  {
+    Shard& shard = ShardFor(key);
+    HandleGuard shard_guard(*shard.lock);
+    auto [it, inserted] = shard.items.try_emplace(key);
+    it->second.value = std::move(value);
+    it->second.lru_ticket = ticket;
+    if (inserted) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  EvictIfNeeded();
+}
+
+bool MemCache::Get(const std::string& key, std::string* out) {
+  Shard& shard = ShardFor(key);
+  HandleGuard shard_guard(*shard.lock);
+  const auto it = shard.items.find(key);
+  if (it == shard.items.end()) {
+    return false;
+  }
+  if (out != nullptr) {
+    *out = it->second.value;
+  }
+  return true;
+}
+
+bool MemCache::Delete(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  HandleGuard shard_guard(*shard.lock);
+  if (shard.items.erase(key) == 0) {
+    return false;
+  }
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t MemCache::Size() const { return size_.load(std::memory_order_relaxed); }
+
+}  // namespace lockin

@@ -1,0 +1,68 @@
+// Memcached-style in-memory cache.
+//
+// Synchronization skeleton of the paper's Memcached target: a hash table
+// with striped bucket locks plus a single LRU/eviction lock that every SET
+// crosses -- which is why SET-heavy workloads contend on one lock while
+// GET-heavy ones spread across the stripes (Figures 13-14, SET vs GET).
+#ifndef SRC_SYSTEMS_CACHE_HPP_
+#define SRC_SYSTEMS_CACHE_HPP_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/systems/common.hpp"
+
+namespace lockin {
+
+class MemCache {
+ public:
+  struct Config {
+    std::size_t shards = 16;        // bucket-lock stripes
+    std::size_t capacity = 100000;  // max items before LRU eviction
+  };
+
+  MemCache(const LockFactory& make_lock, Config config);
+
+  MemCache(const MemCache&) = delete;
+  MemCache& operator=(const MemCache&) = delete;
+
+  // SET: writes the item and touches the LRU under the global lru lock.
+  void Set(const std::string& key, std::string value);
+
+  // GET: reads under the shard lock only (LRU touch is sampled, like
+  // memcached's lazy LRU bumping, to keep GETs off the global lock).
+  bool Get(const std::string& key, std::string* out);
+
+  bool Delete(const std::string& key);
+
+  std::size_t Size() const;
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Item {
+    std::string value;
+    std::uint64_t lru_ticket = 0;
+  };
+  struct Shard {
+    std::unique_ptr<LockHandle> lock;
+    std::unordered_map<std::string, Item> items;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  void EvictIfNeeded();
+
+  Config config_;
+  std::vector<Shard> shards_;
+  // Global LRU clock + eviction state, guarded by lru_lock_.
+  std::unique_ptr<LockHandle> lru_lock_;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace lockin
+
+#endif  // SRC_SYSTEMS_CACHE_HPP_

@@ -1,0 +1,34 @@
+// Shared plumbing for the mini-systems.
+//
+// Every system takes a LockFactory so benchmarks and tests can swap the
+// lock algorithm without touching system code -- the paper's experiment
+// ("we do not modify anything else other than the pthread locks and
+// conditionals in these systems", section 6).
+#ifndef SRC_SYSTEMS_COMMON_HPP_
+#define SRC_SYSTEMS_COMMON_HPP_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/locks/lock_api.hpp"
+#include "src/locks/lock_registry.hpp"
+
+namespace lockin {
+
+using LockFactory = std::function<std::unique_ptr<LockHandle>()>;
+
+// Factory for a registered lock name with default options. On hosts with
+// fewer cores than threads, spinlocks yield after a bounded number of spins
+// so tests cannot livelock (see SpinConfig::yield_after).
+inline LockFactory NamedLockFactory(const std::string& name, std::uint32_t yield_after = 1024) {
+  return [name, yield_after] {
+    LockBuildOptions options;
+    options.spin.yield_after = yield_after;
+    return MakeLock(name, options);
+  };
+}
+
+}  // namespace lockin
+
+#endif  // SRC_SYSTEMS_COMMON_HPP_

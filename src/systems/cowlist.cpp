@@ -1,0 +1,56 @@
+#include "src/systems/cowlist.hpp"
+
+namespace lockin {
+
+void CowList::Add(std::int64_t value) {
+  HandleGuard guard(*lock_);
+  auto next = std::make_shared<Items>(*Load());
+  next->push_back(value);
+  Store(std::move(next));
+}
+
+bool CowList::Set(std::size_t index, std::int64_t value) {
+  HandleGuard guard(*lock_);
+  std::shared_ptr<const Items> current = Load();
+  if (index >= current->size()) {
+    return false;
+  }
+  auto next = std::make_shared<Items>(*current);
+  (*next)[index] = value;
+  Store(std::move(next));
+  return true;
+}
+
+bool CowList::RemoveAt(std::size_t index) {
+  HandleGuard guard(*lock_);
+  std::shared_ptr<const Items> current = Load();
+  if (index >= current->size()) {
+    return false;
+  }
+  auto next = std::make_shared<Items>(*current);
+  next->erase(next->begin() + static_cast<std::ptrdiff_t>(index));
+  Store(std::move(next));
+  return true;
+}
+
+bool CowList::Get(std::size_t index, std::int64_t* out) const {
+  std::shared_ptr<const Items> current = Load();
+  if (index >= current->size()) {
+    return false;
+  }
+  *out = (*current)[index];
+  return true;
+}
+
+std::int64_t CowList::Sum() const {
+  std::shared_ptr<const Items> current = Load();
+  std::int64_t sum = 0;
+  for (std::int64_t v : *current) {
+    sum += v;
+  }
+  return sum;
+}
+
+std::size_t CowList::Size() const { return Load()->size(); }
+
+}  // namespace lockin

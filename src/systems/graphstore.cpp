@@ -1,0 +1,122 @@
+#include "src/systems/graphstore.hpp"
+
+#include <algorithm>
+
+namespace lockin {
+
+GraphStore::GraphStore(const LockFactory& make_lock, Config config)
+    : log_lock_(make_lock()), id_lock_(make_lock()) {
+  shards_.resize(config.shards);
+  for (Shard& shard : shards_) {
+    shard.lock = make_lock();
+  }
+}
+
+void GraphStore::AppendLog(char op, std::uint64_t id) {
+  HandleGuard guard(*log_lock_);
+  // The real binlog formats and fsyncs here; the contention point is what
+  // matters for the lock study.
+  (void)op;
+  (void)id;
+  ++log_records_;
+}
+
+std::uint64_t GraphStore::AddNode(std::string payload) {
+  std::uint64_t id;
+  {
+    HandleGuard guard(*id_lock_);
+    id = next_node_id_++;
+  }
+  {
+    Shard& shard = ShardFor(id);
+    HandleGuard guard(*shard.lock);
+    shard.nodes.emplace(id, std::move(payload));
+  }
+  AppendLog('N', id);
+  return id;
+}
+
+bool GraphStore::GetNode(std::uint64_t id, std::string* out) {
+  Shard& shard = ShardFor(id);
+  HandleGuard guard(*shard.lock);
+  const auto it = shard.nodes.find(id);
+  if (it == shard.nodes.end()) {
+    return false;
+  }
+  if (out != nullptr) {
+    *out = it->second;
+  }
+  return true;
+}
+
+bool GraphStore::UpdateNode(std::uint64_t id, std::string payload) {
+  bool updated = false;
+  {
+    Shard& shard = ShardFor(id);
+    HandleGuard guard(*shard.lock);
+    const auto it = shard.nodes.find(id);
+    if (it != shard.nodes.end()) {
+      it->second = std::move(payload);
+      updated = true;
+    }
+  }
+  if (updated) {
+    AppendLog('U', id);
+  }
+  return updated;
+}
+
+void GraphStore::AddLink(std::uint64_t source, int type, std::uint64_t dest) {
+  {
+    Shard& shard = ShardFor(source);
+    HandleGuard guard(*shard.lock);
+    std::vector<std::uint64_t>& list = shard.links[{source, type}];
+    if (std::find(list.begin(), list.end(), dest) == list.end()) {
+      list.push_back(dest);
+    }
+  }
+  AppendLog('L', source);
+}
+
+bool GraphStore::DeleteLink(std::uint64_t source, int type, std::uint64_t dest) {
+  bool removed = false;
+  {
+    Shard& shard = ShardFor(source);
+    HandleGuard guard(*shard.lock);
+    const auto it = shard.links.find({source, type});
+    if (it != shard.links.end()) {
+      auto& list = it->second;
+      const auto pos = std::find(list.begin(), list.end(), dest);
+      if (pos != list.end()) {
+        list.erase(pos);
+        removed = true;
+      }
+    }
+  }
+  if (removed) {
+    AppendLog('D', source);
+  }
+  return removed;
+}
+
+std::vector<std::uint64_t> GraphStore::GetLinkList(std::uint64_t source, int type,
+                                                   std::size_t limit) {
+  Shard& shard = ShardFor(source);
+  HandleGuard guard(*shard.lock);
+  const auto it = shard.links.find({source, type});
+  if (it == shard.links.end()) {
+    return {};
+  }
+  const auto& list = it->second;
+  const std::size_t n = std::min(limit, list.size());
+  return std::vector<std::uint64_t>(list.end() - static_cast<std::ptrdiff_t>(n), list.end());
+}
+
+std::size_t GraphStore::CountLinks(std::uint64_t source, int type) {
+  Shard& shard = ShardFor(source);
+  HandleGuard guard(*shard.lock);
+  const auto it = shard.links.find({source, type});
+  return it == shard.links.end() ? 0 : it->second.size();
+}
+
+}  // namespace lockin

@@ -1,0 +1,68 @@
+// MySQL/LinkBench-style social-graph store.
+//
+// The paper drives MySQL with Facebook's LinkBench (Table 3): a node/link
+// graph with point reads, link-list reads and link writes from many
+// connection threads. The synchronization skeleton mirrored here: sharded
+// row locks (InnoDB-style), plus one log lock every write crosses (binlog/
+// redo). MySQL "handles most low-level synchronization with customly-
+// designed locks", so the pthread-lock swap moves less than elsewhere --
+// unless the lock spins while oversubscribed (the TICKET collapse).
+#ifndef SRC_SYSTEMS_GRAPHSTORE_HPP_
+#define SRC_SYSTEMS_GRAPHSTORE_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/systems/common.hpp"
+
+namespace lockin {
+
+class GraphStore {
+ public:
+  struct Config {
+    std::size_t shards = 32;
+  };
+
+  GraphStore(const LockFactory& make_lock, Config config);
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  // Nodes.
+  std::uint64_t AddNode(std::string payload);
+  bool GetNode(std::uint64_t id, std::string* out);
+  bool UpdateNode(std::uint64_t id, std::string payload);
+
+  // Links (edges): (source, type) -> set of destinations.
+  void AddLink(std::uint64_t source, int type, std::uint64_t dest);
+  bool DeleteLink(std::uint64_t source, int type, std::uint64_t dest);
+  // Returns up to `limit` destinations.
+  std::vector<std::uint64_t> GetLinkList(std::uint64_t source, int type, std::size_t limit);
+  std::size_t CountLinks(std::uint64_t source, int type);
+
+  std::uint64_t log_records() const { return log_records_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<LockHandle> lock;
+    std::unordered_map<std::uint64_t, std::string> nodes;
+    std::map<std::pair<std::uint64_t, int>, std::vector<std::uint64_t>> links;
+  };
+
+  Shard& ShardFor(std::uint64_t id) { return shards_[id % shards_.size()]; }
+  void AppendLog(char op, std::uint64_t id);
+
+  std::vector<Shard> shards_;
+  // The log lock every write crosses (binlog group-commit point).
+  std::unique_ptr<LockHandle> log_lock_;
+  std::uint64_t log_records_ = 0;
+  std::uint64_t next_node_id_ = 1;
+  std::unique_ptr<LockHandle> id_lock_;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_SYSTEMS_GRAPHSTORE_HPP_

@@ -1,0 +1,40 @@
+#include "src/systems/kvstore.hpp"
+
+namespace lockin {
+
+bool KvStore::Put(std::uint64_t key, std::string value) {
+  HandleGuard guard(*db_lock_);
+  return tree_.Put(key, std::move(value));
+}
+
+bool KvStore::Get(std::uint64_t key, std::string* out) {
+  HandleGuard guard(*db_lock_);
+  return tree_.Get(key, out);
+}
+
+bool KvStore::Erase(std::uint64_t key) {
+  HandleGuard guard(*db_lock_);
+  return tree_.Erase(key);
+}
+
+std::size_t KvStore::CountRange(std::uint64_t first, std::uint64_t last) {
+  HandleGuard guard(*db_lock_);
+  std::size_t count = 0;
+  tree_.Scan(first, last, [&count](std::uint64_t, const std::string&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::size_t KvStore::Size() {
+  HandleGuard guard(*db_lock_);
+  return tree_.size();
+}
+
+bool KvStore::CheckInvariants() {
+  HandleGuard guard(*db_lock_);
+  return tree_.CheckInvariants();
+}
+
+}  // namespace lockin

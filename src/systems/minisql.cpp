@@ -1,0 +1,100 @@
+#include "src/systems/minisql.hpp"
+
+namespace lockin {
+
+MiniSql::MiniSql(const LockFactory& make_lock, Config config)
+    : config_(config), write_lock_(make_lock()), pager_lock_(make_lock()) {
+  warehouses_.resize(static_cast<std::size_t>(config_.warehouses));
+  for (Warehouse& warehouse : warehouses_) {
+    warehouse.districts.resize(static_cast<std::size_t>(config_.districts_per_warehouse));
+  }
+  stock_.assign(static_cast<std::size_t>(config_.warehouses) *
+                    static_cast<std::size_t>(config_.items),
+                100);
+}
+
+std::uint64_t MiniSql::NewOrder(int warehouse, int district, const std::vector<int>& item_ids,
+                                Xoshiro256* rng) {
+  // Read phase under the pager lock (page-cache accesses).
+  int available = 0;
+  {
+    HandleGuard pager(*pager_lock_);
+    for (int item : item_ids) {
+      const std::size_t index = static_cast<std::size_t>(warehouse) *
+                                    static_cast<std::size_t>(config_.items) +
+                                static_cast<std::size_t>(item);
+      if (stock_[index] > 0) {
+        ++available;
+      }
+    }
+  }
+  (void)available;
+
+  // Write transaction under the single writer lock.
+  HandleGuard writer(*write_lock_);
+  District& d = warehouses_[static_cast<std::size_t>(warehouse)]
+                    .districts[static_cast<std::size_t>(district)];
+  const std::uint64_t order_id =
+      (static_cast<std::uint64_t>(DistrictKey(warehouse, district)) << 32) | d.next_order_id;
+  d.next_order_id++;
+  order_counter_++;
+  for (int item : item_ids) {
+    const int quantity = 1 + static_cast<int>(rng->NextBelow(10));
+    order_lines_.push_back(OrderLine{order_id, item, quantity});
+    const std::size_t index = static_cast<std::size_t>(warehouse) *
+                                  static_cast<std::size_t>(config_.items) +
+                              static_cast<std::size_t>(item);
+    stock_[index] -= quantity;
+    if (stock_[index] < 10) {
+      stock_[index] += 91;  // TPC-C restock rule
+    }
+  }
+  if (order_lines_.size() > 200000) {
+    order_lines_.erase(order_lines_.begin(),
+                       order_lines_.begin() + static_cast<std::ptrdiff_t>(100000));
+  }
+  return order_id;
+}
+
+void MiniSql::Payment(int warehouse, int district, std::uint64_t customer, double amount) {
+  HandleGuard writer(*write_lock_);
+  Warehouse& w = warehouses_[static_cast<std::size_t>(warehouse)];
+  w.ytd += amount;
+  w.districts[static_cast<std::size_t>(district)].ytd += amount;
+  customers_[customer] -= amount;
+}
+
+int MiniSql::StockLevel(int warehouse, int district, int threshold) {
+  (void)district;
+  HandleGuard pager(*pager_lock_);
+  int low = 0;
+  const std::size_t base =
+      static_cast<std::size_t>(warehouse) * static_cast<std::size_t>(config_.items);
+  for (int item = 0; item < config_.items; ++item) {
+    if (stock_[base + static_cast<std::size_t>(item)] < threshold) {
+      ++low;
+    }
+  }
+  return low;
+}
+
+double MiniSql::WarehouseYtd(int warehouse) {
+  HandleGuard writer(*write_lock_);
+  return warehouses_[static_cast<std::size_t>(warehouse)].ytd;
+}
+
+double MiniSql::DistrictYtdSum(int warehouse) {
+  HandleGuard writer(*write_lock_);
+  double sum = 0;
+  for (const District& d : warehouses_[static_cast<std::size_t>(warehouse)].districts) {
+    sum += d.ytd;
+  }
+  return sum;
+}
+
+std::uint64_t MiniSql::OrderCount() {
+  HandleGuard writer(*write_lock_);
+  return order_counter_;
+}
+
+}  // namespace lockin

@@ -1,0 +1,106 @@
+#include "src/systems/walstore.hpp"
+
+namespace lockin {
+
+void WalStore::RunBatchLocked() {
+  // Leader: drain the queue into one WAL append + memtable apply. Writes
+  // are applied in sequence order; the WAL tail is bounded (compaction is
+  // out of scope for the synchronization skeleton).
+  batch_running_ = true;
+  std::vector<WriteRequest*> batch(queue_.begin(), queue_.end());
+  queue_.clear();
+
+  // Simulate the WAL append outside the read path but under the DB lock
+  // (RocksDB's write thread does the same for the group).
+  std::string wal_entry;
+  for (WriteRequest* req : batch) {
+    wal_entry += std::to_string(req->sequence);
+    wal_entry += req->is_delete ? ":D:" : ":P:";
+    wal_entry += std::to_string(req->key);
+    wal_entry += ';';
+  }
+  wal_.push_back(std::move(wal_entry));
+  if (wal_.size() > 1024) {
+    wal_.erase(wal_.begin(), wal_.begin() + 512);
+  }
+  wal_records_ += batch.size();
+  ++batches_;
+
+  {
+    HandleGuard read_guard(*read_lock_);
+    for (WriteRequest* req : batch) {
+      if (req->is_delete) {
+        memtable_.erase(req->key);
+      } else {
+        memtable_[req->key] = std::move(req->value);
+      }
+    }
+  }
+  for (WriteRequest* req : batch) {
+    req->done = true;
+  }
+  batch_running_ = false;
+  queue_cv_.Broadcast();
+}
+
+void WalStore::Put(std::uint64_t key, std::string value) {
+  WriteRequest req;
+  req.key = key;
+  req.value = std::move(value);
+
+  db_lock_->lock();
+  req.sequence = next_sequence_++;
+  queue_.push_back(&req);
+  // Followers wait until a leader finishes their batch; the first writer in
+  // becomes leader once no batch is running.
+  while (!req.done) {
+    if (!batch_running_ && !queue_.empty() && queue_.front() == &req) {
+      RunBatchLocked();
+      break;
+    }
+    if (!batch_running_ && !queue_.empty()) {
+      // A follower can also lead if the designated leader already returned.
+      RunBatchLocked();
+      break;
+    }
+    queue_cv_.Wait(*db_lock_);
+  }
+  db_lock_->unlock();
+}
+
+void WalStore::Delete(std::uint64_t key) {
+  WriteRequest req;
+  req.key = key;
+  req.is_delete = true;
+
+  db_lock_->lock();
+  req.sequence = next_sequence_++;
+  queue_.push_back(&req);
+  while (!req.done) {
+    if (!batch_running_ && !queue_.empty()) {
+      RunBatchLocked();
+      break;
+    }
+    queue_cv_.Wait(*db_lock_);
+  }
+  db_lock_->unlock();
+}
+
+bool WalStore::Get(std::uint64_t key, std::string* out) {
+  HandleGuard guard(*read_lock_);
+  const auto it = memtable_.find(key);
+  if (it == memtable_.end()) {
+    return false;
+  }
+  if (out != nullptr) {
+    *out = it->second;
+  }
+  return true;
+}
+
+std::size_t WalStore::MemtableSize() {
+  HandleGuard guard(*read_lock_);
+  return memtable_.size();
+}
+
+}  // namespace lockin

@@ -1,0 +1,74 @@
+// RocksDB-style embedded store: memtable + write-ahead-log with a batched
+// write queue.
+//
+// Reproduces the synchronization skeleton the paper describes for RocksDB
+// (section 6): "RocksDB employs a write queue where threads enqueue their
+// operations and mostly relies on a conditional variable. Therefore,
+// altering MUTEX with another algorithm does not make a big difference."
+// Writers join a queue under the DB lock; the queue leader batches all
+// pending writes into the WAL and memtable while followers wait on the
+// condvar. Reads go to the memtable under a short lock.
+#ifndef SRC_SYSTEMS_WALSTORE_HPP_
+#define SRC_SYSTEMS_WALSTORE_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/locks/condvar.hpp"
+#include "src/systems/common.hpp"
+
+namespace lockin {
+
+class WalStore {
+ public:
+  explicit WalStore(const LockFactory& make_lock)
+      : db_lock_(make_lock()), read_lock_(make_lock()) {}
+
+  WalStore(const WalStore&) = delete;
+  WalStore& operator=(const WalStore&) = delete;
+
+  // Enqueues the write; returns once it is durable in the (simulated) WAL
+  // and visible in the memtable. May batch with concurrent writers.
+  void Put(std::uint64_t key, std::string value);
+
+  bool Get(std::uint64_t key, std::string* out);
+
+  void Delete(std::uint64_t key);
+
+  std::size_t MemtableSize();
+  std::uint64_t wal_records() const { return wal_records_; }
+  std::uint64_t batches() const { return batches_; }
+
+ private:
+  struct WriteRequest {
+    std::uint64_t key;
+    std::string value;
+    bool is_delete = false;
+    std::uint64_t sequence = 0;  // assigned when enqueued
+    bool done = false;
+  };
+
+  // Applies all queued writes (leader path). Called with db_lock_ held.
+  void RunBatchLocked();
+
+  std::unique_ptr<LockHandle> db_lock_;
+  CondVar queue_cv_;
+  std::deque<WriteRequest*> queue_;
+  bool batch_running_ = false;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t wal_records_ = 0;
+  std::uint64_t batches_ = 0;
+  std::vector<std::string> wal_;  // simulated WAL tail (bounded)
+
+  // Memtable guarded by a separate short lock so reads do not cross the
+  // write queue.
+  std::unique_ptr<LockHandle> read_lock_;
+  std::map<std::uint64_t, std::string> memtable_;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_SYSTEMS_WALSTORE_HPP_

@@ -1,0 +1,174 @@
+// B+-tree property tests: random operation sequences are checked against a
+// std::map reference model, with structural invariants after every phase.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/platform/rng.hpp"
+#include "src/systems/btree.hpp"
+
+namespace lockin {
+namespace {
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  std::string out;
+  EXPECT_FALSE(tree.Get(1, &out));
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTree, PutGetSingle) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Put(42, "hello"));
+  std::string out;
+  ASSERT_TRUE(tree.Get(42, &out));
+  EXPECT_EQ(out, "hello");
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTree, OverwriteDoesNotGrow) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Put(1, "a"));
+  EXPECT_FALSE(tree.Put(1, "b"));
+  EXPECT_EQ(tree.size(), 1u);
+  std::string out;
+  ASSERT_TRUE(tree.Get(1, &out));
+  EXPECT_EQ(out, "b");
+}
+
+TEST(BPlusTree, SequentialInsertSplits) {
+  BPlusTree tree;
+  constexpr std::uint64_t kN = 5000;
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(tree.Put(k, std::to_string(k)));
+  }
+  EXPECT_EQ(tree.size(), kN);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::string out;
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(tree.Get(k, &out)) << k;
+    EXPECT_EQ(out, std::to_string(k));
+  }
+}
+
+TEST(BPlusTree, ReverseInsert) {
+  BPlusTree tree;
+  for (std::uint64_t k = 3000; k > 0; --k) {
+    ASSERT_TRUE(tree.Put(k, "v"));
+  }
+  EXPECT_EQ(tree.size(), 3000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTree, ScanInOrder) {
+  BPlusTree tree;
+  for (std::uint64_t k = 0; k < 1000; k += 2) {
+    tree.Put(k, std::to_string(k));
+  }
+  std::uint64_t last = 0;
+  std::size_t visited = 0;
+  tree.Scan(100, 500, [&](std::uint64_t key, const std::string& value) {
+    EXPECT_GE(key, 100u);
+    EXPECT_LE(key, 500u);
+    if (visited > 0) {
+      EXPECT_GT(key, last);
+    }
+    EXPECT_EQ(value, std::to_string(key));
+    last = key;
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 201u);  // 100,102,...,500
+}
+
+TEST(BPlusTree, ScanEarlyStop) {
+  BPlusTree tree;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    tree.Put(k, "v");
+  }
+  std::size_t visited = 0;
+  tree.Scan(0, 99, [&](std::uint64_t, const std::string&) {
+    ++visited;
+    return visited < 10;
+  });
+  EXPECT_EQ(visited, 10u);
+}
+
+TEST(BPlusTree, EraseRemoves) {
+  BPlusTree tree;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    tree.Put(k, "v");
+  }
+  for (std::uint64_t k = 0; k < 500; k += 2) {
+    EXPECT_TRUE(tree.Erase(k));
+  }
+  EXPECT_EQ(tree.size(), 250u);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(tree.Get(k, nullptr), k % 2 == 1) << k;
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+// Property test parameterized over seeds: random ops vs std::map.
+class BTreeRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BTreeRandomOps, MatchesReferenceModel) {
+  BPlusTree tree;
+  std::map<std::uint64_t, std::string> reference;
+  Xoshiro256 rng(GetParam());
+  constexpr int kOps = 20000;
+  constexpr std::uint64_t kKeySpace = 2000;  // dense: plenty of collisions
+
+  for (int i = 0; i < kOps; ++i) {
+    const std::uint64_t key = rng.NextBelow(kKeySpace);
+    switch (rng.NextBelow(4)) {
+      case 0:
+      case 1: {  // put
+        const std::string value = std::to_string(key * 31 + i);
+        const bool inserted = tree.Put(key, value);
+        EXPECT_EQ(inserted, reference.find(key) == reference.end());
+        reference[key] = value;
+        break;
+      }
+      case 2: {  // get
+        std::string out;
+        const bool found = tree.Get(key, &out);
+        const auto it = reference.find(key);
+        EXPECT_EQ(found, it != reference.end());
+        if (found) {
+          EXPECT_EQ(out, it->second);
+        }
+        break;
+      }
+      case 3: {  // erase
+        const bool erased = tree.Erase(key);
+        EXPECT_EQ(erased, reference.erase(key) != 0);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+
+  // Full-range scan equals the reference's ordered contents.
+  std::vector<std::uint64_t> scanned;
+  tree.Scan(0, kKeySpace, [&](std::uint64_t key, const std::string&) {
+    scanned.push_back(key);
+    return true;
+  });
+  std::vector<std::uint64_t> expected;
+  for (const auto& [key, value] : reference) {
+    expected.push_back(key);
+  }
+  EXPECT_EQ(scanned, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomOps,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace lockin

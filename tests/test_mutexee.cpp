@@ -1,0 +1,209 @@
+// MUTEXEE-specific behaviour: Table 1 protocol, statistics, mode
+// adaptation, the unlock grace window and the fairness timeout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/locks/mutexee.hpp"
+#include "src/platform/cycles.hpp"
+
+namespace lockin {
+namespace {
+
+TEST(Mutexee, DefaultConfigMatchesPaper) {
+  // Table 1 / section 5.1: ~8000-cycle spin with mfence, ~384-cycle unlock
+  // grace; mutex mode ~256 / ~128; mode switch at >30% futex handovers.
+  MutexeeLock lock;
+  EXPECT_EQ(lock.config().spin_mode_lock_cycles, 8000u);
+  EXPECT_EQ(lock.config().spin_mode_grace_cycles, 384u);
+  EXPECT_EQ(lock.config().mutex_mode_lock_cycles, 256u);
+  EXPECT_EQ(lock.config().mutex_mode_grace_cycles, 128u);
+  EXPECT_EQ(lock.config().pause, PauseKind::kMfence);
+  EXPECT_DOUBLE_EQ(lock.config().futex_ratio_threshold, 0.30);
+  EXPECT_EQ(lock.config().sleep_timeout_ns, 0u);  // timeouts off by default
+  EXPECT_EQ(lock.mode(), MutexeeLock::Mode::kSpin);
+}
+
+TEST(Mutexee, UncontestedAcquiresAreSpinHandovers) {
+  MutexeeLock lock;
+  for (int i = 0; i < 100; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  const MutexeeLock::Stats stats = lock.GetStats();
+  EXPECT_EQ(stats.acquires, 100u);
+  EXPECT_EQ(stats.spin_handovers, 100u);
+  EXPECT_EQ(stats.futex_handovers, 0u);
+  EXPECT_EQ(lock.futex_stats().wake_calls.load(), 0u);
+}
+
+TEST(Mutexee, TryLock) {
+  MutexeeLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Mutexee, MutualExclusion) {
+  MutexeeLock lock;
+  long long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 3000; ++i) {
+        lock.lock();
+        counter = counter + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter, 12000);
+}
+
+TEST(Mutexee, SpinHandoversDominateUnderShortCriticalSections) {
+  // The defining claim: for short critical sections MUTEXEE keeps most
+  // handovers futex-free (section 5.1).
+  MutexeeLock lock;
+  long long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.lock();
+        counter = counter + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const MutexeeLock::Stats stats = lock.GetStats();
+  EXPECT_EQ(stats.acquires, 20000u);
+  EXPECT_GT(stats.spin_handovers, stats.futex_handovers);
+  EXPECT_LT(stats.FutexHandoverRatio(), 0.30);
+}
+
+TEST(Mutexee, TimeoutWakesSleeperEventually) {
+  MutexeeConfig config;
+  config.sleep_timeout_ns = 2'000'000;  // 2 ms
+  config.spin_mode_lock_cycles = 200;   // sleep fast
+  MutexeeLock lock(config);
+
+  lock.lock();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    lock.lock();
+    acquired.store(true);
+    lock.unlock();
+  });
+  // Hold long enough that the waiter must sleep, time out, and then spin.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  lock.unlock();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  // The waiter either timed out (then spun) or was woken by the unlock;
+  // with a 2 ms timeout and a 20 ms hold it must have timed out at least once.
+  EXPECT_GE(lock.futex_stats().timeouts.load(), 1u);
+}
+
+TEST(Mutexee, StatsResetClears) {
+  MutexeeLock lock;
+  lock.lock();
+  lock.unlock();
+  lock.ResetStats();
+  const MutexeeLock::Stats stats = lock.GetStats();
+  EXPECT_EQ(stats.acquires, 0u);
+  EXPECT_EQ(stats.spin_handovers, 0u);
+}
+
+TEST(Mutexee, GraceWindowSkipsWakes) {
+  // With the grace window on and constant pressure from a second thread,
+  // some unlocks should detect the user-space grab and skip the futex wake:
+  // wake_skips > 0 or zero wake calls at all.
+  MutexeeConfig config;
+  config.spin_mode_lock_cycles = 200000;  // spin long enough to never sleep
+  MutexeeLock lock(config);
+  long long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 4000; ++i) {
+        lock.lock();
+        counter = counter + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter, 8000);
+  // Nobody should have slept (budget >> critical section).
+  EXPECT_EQ(lock.futex_stats().wake_calls.load(), 0u);
+}
+
+TEST(Mutexee, AblationNoGraceStillCorrect) {
+  MutexeeConfig config;
+  config.enable_unlock_grace = false;
+  config.spin_mode_lock_cycles = 500;
+  MutexeeLock lock(config);
+  long long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        lock.lock();
+        counter = counter + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter, 8000);
+}
+
+TEST(Mutexee, ModeSwitchesToMutexUnderFutexChurn) {
+  // Force futex handovers: minuscule spin budget, long critical sections.
+  MutexeeConfig config;
+  config.spin_mode_lock_cycles = 50;
+  config.mutex_mode_lock_cycles = 50;
+  config.adapt_period = 64;
+  // On small hosts the unlocking thread often re-acquires before sleepers
+  // run, keeping the futex-handover ratio low; any futex traffic at all
+  // should flip the mode with a near-zero threshold.
+  config.futex_ratio_threshold = 0.005;
+  MutexeeLock lock(config);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 800; ++i) {
+        lock.lock();
+        SpinForCycles(20000);  // long critical section forces sleeping
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const MutexeeLock::Stats stats = lock.GetStats();
+  EXPECT_GT(stats.futex_handovers, 0u);
+  // With >30% futex handovers sustained, the lock must have adapted at
+  // least once to mutex mode.
+  EXPECT_GT(stats.mode_switches, 0u);
+}
+
+}  // namespace
+}  // namespace lockin

@@ -1,0 +1,110 @@
+// Event-engine tests: ordering, cancellation, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace lockin {
+namespace {
+
+TEST(SimEngine, RunsEventsInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.Schedule(30, [&] { order.push_back(3); });
+  engine.Schedule(10, [&] { order.push_back(1); });
+  engine.Schedule(20, [&] { order.push_back(2); });
+  engine.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30u);
+}
+
+TEST(SimEngine, FifoAmongEqualTimestamps) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.Schedule(5, [&] { order.push_back(1); });
+  engine.Schedule(5, [&] { order.push_back(2); });
+  engine.Schedule(5, [&] { order.push_back(3); });
+  engine.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEngine, NestedScheduling) {
+  SimEngine engine;
+  std::vector<SimTime> times;
+  engine.Schedule(10, [&] {
+    times.push_back(engine.now());
+    engine.Schedule(5, [&] { times.push_back(engine.now()); });
+  });
+  engine.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimEngine, CancelPreventsExecution) {
+  SimEngine engine;
+  bool ran = false;
+  const EventId id = engine.Schedule(10, [&] { ran = true; });
+  engine.Cancel(id);
+  engine.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimEngine, CancelIsIdempotentAndSelective) {
+  SimEngine engine;
+  int runs = 0;
+  const EventId a = engine.Schedule(10, [&] { ++runs; });
+  engine.Schedule(20, [&] { ++runs; });
+  engine.Cancel(a);
+  engine.Cancel(a);
+  engine.RunAll();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(SimEngine, RunUntilStopsAtBoundary) {
+  SimEngine engine;
+  int runs = 0;
+  engine.Schedule(10, [&] { ++runs; });
+  engine.Schedule(100, [&] { ++runs; });
+  engine.RunUntil(50);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(engine.now(), 50u);
+  engine.RunUntil(200);
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(SimEngine, RunUntilAdvancesClockWithNoEvents) {
+  SimEngine engine;
+  engine.RunUntil(1234);
+  EXPECT_EQ(engine.now(), 1234u);
+}
+
+TEST(SimEngine, ExecutedEventCount) {
+  SimEngine engine;
+  for (int i = 0; i < 5; ++i) {
+    engine.Schedule(static_cast<SimTime>(i), [] {});
+  }
+  engine.RunAll();
+  EXPECT_EQ(engine.executed_events(), 5u);
+}
+
+TEST(SimEngine, DeterministicAcrossRuns) {
+  auto run = []() {
+    SimEngine engine;
+    std::vector<SimTime> trace;
+    // A little self-scheduling cascade.
+    std::function<void(int)> step = [&](int depth) {
+      trace.push_back(engine.now());
+      if (depth > 0) {
+        engine.Schedule(7, [&step, depth] { step(depth - 1); });
+        engine.Schedule(3, [&step, depth] { step(depth - 2); });
+      }
+    };
+    engine.Schedule(1, [&] { step(6); });
+    engine.RunAll();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lockin

@@ -1,0 +1,191 @@
+// Futex-model tests: the latencies of section 4.3 must come out of the
+// model by construction, plus sleep misses, timeouts, kernel-bucket
+// serialization and the deep-idle penalty.
+#include <gtest/gtest.h>
+
+#include "src/sim/futex_model.hpp"
+
+namespace lockin {
+namespace {
+
+struct Fixture {
+  SimEngine engine;
+  SimMachine machine;
+  SimFutex futex;
+
+  Fixture()
+      : machine(&engine, Topology::PaperXeon(), PowerParams::PaperXeon(),
+                SimParams::PaperXeon()),
+        futex(&machine) {}
+
+  int NewThread() {
+    const int tid = machine.AddThread();
+    machine.Start(tid);
+    return tid;
+  }
+};
+
+TEST(SimFutex, SleepBlocksUntilWake) {
+  Fixture f;
+  const int sleeper = f.NewThread();
+  const int waker = f.NewThread();
+
+  SimTime woke_at = 0;
+  f.futex.Sleep(sleeper, 0, [&](SimFutex::WakeReason reason) {
+    EXPECT_EQ(reason, SimFutex::WakeReason::kSignalled);
+    woke_at = f.engine.now();
+  });
+  SimTime wake_invoked = 0;
+  f.machine.RunFor(waker, 100000, ActivityState::kWorking, [&] {
+    wake_invoked = f.engine.now();
+    f.futex.Wake(waker, 1, [] {});
+  });
+  f.engine.RunAll();
+
+  ASSERT_GT(woke_at, 0u);
+  // Turnaround: at least the paper's 7000 cycles from wake invocation.
+  EXPECT_GE(woke_at - wake_invoked, 7000u);
+  EXPECT_LE(woke_at - wake_invoked, 9000u);
+}
+
+TEST(SimFutex, SleepCallTakesSleepLatency) {
+  Fixture f;
+  const int sleeper = f.NewThread();
+  f.futex.Sleep(sleeper, 0, [](SimFutex::WakeReason) {});
+  f.engine.RunUntil(SimParams::PaperXeon().futex_sleep_cycles - 1);
+  EXPECT_EQ(f.futex.sleeper_count(), 0);  // still entering the kernel
+  EXPECT_EQ(f.futex.entering_count(), 1);
+  f.engine.RunUntil(SimParams::PaperXeon().futex_sleep_cycles + 1);
+  EXPECT_EQ(f.futex.sleeper_count(), 1);
+  EXPECT_TRUE(f.machine.IsBlocked(sleeper));
+}
+
+TEST(SimFutex, WakeCallCostOnWakersPath) {
+  Fixture f;
+  f.NewThread();  // sleeper placeholder so ids differ
+  const int waker = f.NewThread();
+  SimTime done_at = 0;
+  f.futex.Wake(waker, 1, [&] { done_at = f.engine.now(); });
+  f.engine.RunAll();
+  // No sleepers: still pays the wake call (bucket + 2700 cycles).
+  EXPECT_GE(done_at, SimParams::PaperXeon().futex_wake_call_cycles);
+}
+
+TEST(SimFutex, WakeDuringSleepEntryIsAMiss) {
+  // Section 4.4: waking faster than the sleep latency wastes both calls.
+  Fixture f;
+  const int sleeper = f.NewThread();
+  const int waker = f.NewThread();
+  bool missed = false;
+  f.futex.Sleep(sleeper, 0, [&](SimFutex::WakeReason reason) {
+    missed = reason == SimFutex::WakeReason::kSleepMiss;
+  });
+  // Wake after 500 cycles -- before the 2100-cycle sleep call completes.
+  f.machine.RunFor(waker, 500, ActivityState::kWorking,
+                   [&] { f.futex.Wake(waker, 1, [] {}); });
+  f.engine.RunAll();
+  EXPECT_TRUE(missed);
+  EXPECT_EQ(f.futex.stats().sleep_misses, 1u);
+  EXPECT_FALSE(f.machine.IsBlocked(sleeper));
+}
+
+TEST(SimFutex, TimeoutFiresWithoutWake) {
+  Fixture f;
+  const int sleeper = f.NewThread();
+  bool timed_out = false;
+  SimTime woke_at = 0;
+  f.futex.Sleep(sleeper, 50000, [&](SimFutex::WakeReason reason) {
+    timed_out = reason == SimFutex::WakeReason::kTimedOut;
+    woke_at = f.engine.now();
+  });
+  f.engine.RunAll();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(f.futex.stats().timeouts, 1u);
+  // Timeout counts from the moment of blocking; add the wake tail.
+  EXPECT_GT(woke_at, 50000u);
+}
+
+TEST(SimFutex, WakeCancelsTimeout) {
+  Fixture f;
+  const int sleeper = f.NewThread();
+  const int waker = f.NewThread();
+  SimFutex::WakeReason reason = SimFutex::WakeReason::kTimedOut;
+  f.futex.Sleep(sleeper, 10'000'000, [&](SimFutex::WakeReason r) { reason = r; });
+  f.machine.RunFor(waker, 50000, ActivityState::kWorking,
+                   [&] { f.futex.Wake(waker, 1, [] {}); });
+  f.engine.RunAll();
+  EXPECT_EQ(reason, SimFutex::WakeReason::kSignalled);
+  EXPECT_EQ(f.futex.stats().timeouts, 0u);
+}
+
+TEST(SimFutex, DeepSleepPaysExtraTurnaround) {
+  const SimParams params = SimParams::PaperXeon();
+  auto turnaround_for_delay = [&](std::uint64_t delay) {
+    Fixture f;
+    const int sleeper = f.NewThread();
+    const int waker = f.NewThread();
+    SimTime woke_at = 0;
+    SimTime wake_invoked = 0;
+    f.futex.Sleep(sleeper, 0, [&](SimFutex::WakeReason) { woke_at = f.engine.now(); });
+    f.machine.RunFor(waker, delay, ActivityState::kWorking, [&] {
+      wake_invoked = f.engine.now();
+      f.futex.Wake(waker, 1, [] {});
+    });
+    f.engine.RunAll();
+    return woke_at - wake_invoked;
+  };
+  const std::uint64_t shallow = turnaround_for_delay(100'000);
+  const std::uint64_t deep = turnaround_for_delay(20'000'000);
+  EXPECT_GE(deep, shallow + params.deep_idle_penalty_cycles / 2);
+  EXPECT_EQ(SimParams::PaperXeon().deep_idle_threshold_cycles, 600000u);
+}
+
+TEST(SimFutex, BucketSerializesConcurrentSleeps) {
+  // Two sleep calls entering together: the second queues behind the first's
+  // bucket hold, so it blocks later.
+  Fixture f;
+  const int s1 = f.NewThread();
+  const int s2 = f.NewThread();
+  f.futex.Sleep(s1, 0, [](SimFutex::WakeReason) {});
+  f.futex.Sleep(s2, 0, [](SimFutex::WakeReason) {});
+  const SimParams params = SimParams::PaperXeon();
+  f.engine.RunUntil(params.futex_sleep_cycles + 10);
+  EXPECT_EQ(f.futex.sleeper_count(), 1);  // only the first is asleep yet
+  f.engine.RunUntil(params.futex_sleep_cycles + params.futex_sleep_bucket_cycles + 10);
+  EXPECT_EQ(f.futex.sleeper_count(), 2);
+}
+
+TEST(SimFutex, WakeNWakesUpToN) {
+  Fixture f;
+  const int s1 = f.NewThread();
+  const int s2 = f.NewThread();
+  const int s3 = f.NewThread();
+  const int waker = f.NewThread();
+  int woken = 0;
+  for (int tid : {s1, s2, s3}) {
+    f.futex.Sleep(tid, 0, [&](SimFutex::WakeReason) { ++woken; });
+  }
+  f.machine.RunFor(waker, 100000, ActivityState::kWorking,
+                   [&] { f.futex.Wake(waker, 2, [] {}); });
+  f.engine.RunAll();
+  EXPECT_EQ(woken, 2);
+  EXPECT_EQ(f.futex.sleeper_count(), 1);
+  EXPECT_EQ(f.futex.stats().threads_woken, 2u);
+}
+
+TEST(SimFutex, StatsAccumulateAndReset) {
+  Fixture f;
+  const int sleeper = f.NewThread();
+  const int waker = f.NewThread();
+  f.futex.Sleep(sleeper, 0, [](SimFutex::WakeReason) {});
+  f.machine.RunFor(waker, 50000, ActivityState::kWorking,
+                   [&] { f.futex.Wake(waker, 1, [] {}); });
+  f.engine.RunAll();
+  EXPECT_EQ(f.futex.stats().sleep_calls, 1u);
+  EXPECT_EQ(f.futex.stats().wake_calls, 1u);
+  f.futex.ResetStats();
+  EXPECT_EQ(f.futex.stats().sleep_calls, 0u);
+}
+
+}  // namespace
+}  // namespace lockin

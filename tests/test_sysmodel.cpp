@@ -1,0 +1,108 @@
+// System-workload model tests: the per-system trend directions of
+// Figures 13-15, run on shortened durations.
+#include <gtest/gtest.h>
+
+#include "src/sim/sysmodel.hpp"
+
+namespace lockin {
+namespace {
+
+SystemWorkload Find(const std::string& system, const std::string& config) {
+  for (const SystemWorkload& w : PaperSystemWorkloads()) {
+    if (w.system == system && w.config == config) {
+      return w;
+    }
+  }
+  ADD_FAILURE() << system << "/" << config << " not found";
+  return {};
+}
+
+SystemResult RunShort(SystemWorkload spec) {
+  spec.workload.duration_cycles = 42'000'000;  // 15 ms: enough for trends
+  return RunSystemWorkload(spec);
+}
+
+TEST(SysModel, HasAll17Configurations) {
+  const auto specs = PaperSystemWorkloads();
+  EXPECT_EQ(specs.size(), 17u);
+  int hamster = 0, kyoto = 0, memcached = 0, mysql = 0, rocksdb = 0, sqlite = 0;
+  for (const auto& w : specs) {
+    if (w.system == "HamsterDB") ++hamster;
+    if (w.system == "Kyoto") ++kyoto;
+    if (w.system == "Memcached") ++memcached;
+    if (w.system == "MySQL") ++mysql;
+    if (w.system == "RocksDB") ++rocksdb;
+    if (w.system == "SQLite") ++sqlite;
+  }
+  EXPECT_EQ(hamster, 3);
+  EXPECT_EQ(kyoto, 3);
+  EXPECT_EQ(memcached, 3);
+  EXPECT_EQ(mysql, 2);
+  EXPECT_EQ(rocksdb, 3);
+  EXPECT_EQ(sqlite, 3);
+}
+
+TEST(SysModel, PaperReferencesPopulated) {
+  for (const auto& w : PaperSystemWorkloads()) {
+    EXPECT_GT(w.paper_throughput_ticket, 0.0) << w.system << "/" << w.config;
+    EXPECT_GT(w.paper_throughput_mutexee, 0.0) << w.system << "/" << w.config;
+  }
+}
+
+TEST(SysModel, KyotoBothReplacementsWinBig) {
+  // Kyoto CACHE: paper 1.85x (TICKET) / 1.78x (MUTEXEE).
+  const SystemResult r = RunShort(Find("Kyoto", "CACHE"));
+  EXPECT_GT(r.ThroughputRatioTicket(), 1.2);
+  EXPECT_GT(r.ThroughputRatioMutexee(), 1.2);
+}
+
+TEST(SysModel, MySqlTicketCollapses) {
+  // Paper: TICKET at 0.01x of MUTEX on the MEM configuration; MUTEXEE ~1x.
+  const SystemResult r = RunShort(Find("MySQL", "MEM"));
+  EXPECT_LT(r.ThroughputRatioTicket(), 0.2);
+  EXPECT_GT(r.ThroughputRatioMutexee(), 0.75);
+}
+
+TEST(SysModel, SqliteDegradesWithConnections) {
+  const SystemResult c16 = RunShort(Find("SQLite", "16 CON"));
+  const SystemResult c64 = RunShort(Find("SQLite", "64 CON"));
+  // TICKET's relative throughput falls as oversubscription grows.
+  EXPECT_LT(c64.ThroughputRatioTicket(), c16.ThroughputRatioTicket());
+  // MUTEXEE stays near or above MUTEX while TICKET collapses.
+  EXPECT_GT(c64.ThroughputRatioMutexee(), 0.85);
+}
+
+TEST(SysModel, RocksDbMovesLittle) {
+  // Paper: RocksDB ratios within ~12% of MUTEX for both replacements.
+  const SystemResult r = RunShort(Find("RocksDB", "WT/RD"));
+  EXPECT_GT(r.ThroughputRatioTicket(), 0.8);
+  EXPECT_LT(r.ThroughputRatioTicket(), 1.35);
+  EXPECT_GT(r.ThroughputRatioMutexee(), 0.8);
+  EXPECT_LT(r.ThroughputRatioMutexee(), 1.4);
+}
+
+TEST(SysModel, HamsterDbMutexeeTailBlowsUp) {
+  // Figure 15: HamsterDB RD tail ~19-22x with MUTEXEE (unfairness), while
+  // TICKET's tail is far below MUTEX's. In the simulation the starved
+  // sleepers are few (4 worker threads), so the blow-up is visible in the
+  // worst-case acquire latency rather than a fixed percentile.
+  const SystemResult r = RunShort(Find("HamsterDB", "RD"));
+  EXPECT_GT(r.MaxTailRatioMutexee(), 10.0);
+  EXPECT_LT(r.TailRatioTicket(), 1.0);
+}
+
+TEST(SysModel, TppTracksThroughput) {
+  // POLY: per configuration, the lock with better throughput has better or
+  // equal TPP in the vast majority of cases. Check a handful.
+  for (const char* name : {"CACHE", "HT DB"}) {
+    const SystemResult r = RunShort(Find("Kyoto", name));
+    if (r.ThroughputRatioTicket() > r.ThroughputRatioMutexee()) {
+      EXPECT_GT(r.TppRatioTicket(), r.TppRatioMutexee() * 0.8) << name;
+    } else {
+      EXPECT_GT(r.TppRatioMutexee(), r.TppRatioTicket() * 0.8) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lockin

@@ -1,0 +1,49 @@
+// MUTEXEE tuner tests: the derived configuration must respect the paper's
+// structural constraints regardless of host noise.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/locks/tuner.hpp"
+
+namespace lockin {
+namespace {
+
+TEST(Tuner, ProducesBoundedConfig) {
+  const TunerReport report = RunMutexeeTuner();
+  // Spin budget: never below 4000 cycles ("spinning for more than 4000
+  // cycles is crucial for throughput") and never absurd.
+  EXPECT_GE(report.config.spin_mode_lock_cycles, 4000u);
+  EXPECT_LE(report.config.spin_mode_lock_cycles, 65536u);
+  // Grace window: bounded around the coherence latency.
+  EXPECT_GE(report.config.spin_mode_grace_cycles, 128u);
+  EXPECT_LE(report.config.spin_mode_grace_cycles, 2048u);
+  // Mutex mode budgets are strictly smaller than spin mode.
+  EXPECT_LT(report.config.mutex_mode_lock_cycles, report.config.spin_mode_lock_cycles);
+  EXPECT_LT(report.config.mutex_mode_grace_cycles,
+            report.config.spin_mode_grace_cycles + 1);
+}
+
+TEST(Tuner, MeasuresNonZeroLatencies) {
+  const TunerReport report = RunMutexeeTuner();
+  EXPECT_GT(report.futex_wake_call_cycles, 0u);
+  EXPECT_GT(report.futex_turnaround_cycles, 0u);
+  EXPECT_GT(report.line_transfer_cycles, 0u);
+  // On multi-core hosts the turnaround includes the wake call plus
+  // scheduling, so it exceeds the wake call alone. On a single CPU the
+  // kernel can switch to the woken thread *during* the waker's syscall
+  // (wake-up preemption), making the comparison meaningless.
+  if (std::thread::hardware_concurrency() >= 2) {
+    EXPECT_GE(report.futex_turnaround_cycles, report.futex_wake_call_cycles);
+  }
+}
+
+TEST(Tuner, ReportIsPrintable) {
+  const TunerReport report = RunMutexeeTuner();
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("spin_mode_lock_cycles"), std::string::npos);
+  EXPECT_NE(text.find("futex turnaround"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lockin

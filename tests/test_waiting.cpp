@@ -1,0 +1,128 @@
+// Waiting-experiment tests: the shapes of Figures 2-7 and the section 4.4
+// table must come out of the models.
+#include <gtest/gtest.h>
+
+#include "src/sim/waiting.hpp"
+
+namespace lockin {
+namespace {
+
+PowerModel XeonModel() { return PowerModel(Topology::PaperXeon(), PowerParams::PaperXeon()); }
+
+TEST(Fig2PowerBreakdown, IdleAndMaxEndpoints) {
+  const PowerModel model = XeonModel();
+  const PowerBreakdownPoint idle = PowerBreakdown(model, 0, VfSetting::kMax);
+  EXPECT_NEAR(idle.total_w, 55.5, 0.1);
+  const PowerBreakdownPoint full = PowerBreakdown(model, 40, VfSetting::kMax);
+  EXPECT_GT(full.total_w, 170.0);
+  EXPECT_GT(full.dram_w, 70.0);     // paper: DRAM up to 74 W
+  EXPECT_GT(full.package_w, 120.0); // paper: package up to 132 W
+}
+
+TEST(Fig2PowerBreakdown, MinFrequencyLower) {
+  const PowerModel model = XeonModel();
+  for (int threads : {5, 20, 40}) {
+    EXPECT_LT(PowerBreakdown(model, threads, VfSetting::kMin).total_w,
+              PowerBreakdown(model, threads, VfSetting::kMax).total_w)
+        << threads;
+  }
+}
+
+TEST(Fig2PowerBreakdown, PackageIncludesCores) {
+  const PowerModel model = XeonModel();
+  const PowerBreakdownPoint p = PowerBreakdown(model, 20, VfSetting::kMax);
+  EXPECT_GT(p.package_w, p.cores_w);
+  EXPECT_NEAR(p.total_w, p.package_w + p.dram_w, 1e-9);
+}
+
+TEST(Fig34WaitingPower, SleepingIsCheapestSpinningDearest) {
+  const PowerModel model = XeonModel();
+  const double sleeping = WaitingPowerWatts(model, 40, ActivityState::kSleeping);
+  const double local = WaitingPowerWatts(model, 40, ActivityState::kSpinLocal);
+  EXPECT_LT(sleeping, 62.0);  // near idle
+  EXPECT_GT(local, 120.0);    // figure 3: ~140 W busy waiting
+}
+
+TEST(Fig34WaitingPower, PauseIncreasesPowerMbarDecreases) {
+  // The headline counterintuitive result of section 4.2.
+  const PowerModel model = XeonModel();
+  const double local = WaitingPowerWatts(model, 40, ActivityState::kSpinLocal);
+  const double pause = WaitingPowerWatts(model, 40, ActivityState::kSpinPause);
+  const double mbar = WaitingPowerWatts(model, 40, ActivityState::kSpinMbar);
+  const double global = WaitingPowerWatts(model, 40, ActivityState::kSpinGlobal);
+  EXPECT_GT(pause, local);         // pause increases power (up to 4%)
+  EXPECT_LT(pause / local, 1.06);
+  EXPECT_LT(mbar, global);         // mbar below even global spinning
+  EXPECT_LT(mbar / pause, 0.96);   // ~7% below pause
+}
+
+TEST(Fig34WaitingPower, CpiValuesMatchPaper) {
+  EXPECT_DOUBLE_EQ(WaitingCpi(ActivityState::kSpinGlobal), 530.0);  // ~530 cycles/atomic
+  EXPECT_DOUBLE_EQ(WaitingCpi(ActivityState::kSpinLocal), 1.0);     // load per cycle
+  EXPECT_DOUBLE_EQ(WaitingCpi(ActivityState::kSpinPause), 4.6);     // pause CPI 4.6
+  EXPECT_GT(WaitingCpi(ActivityState::kSpinMbar), WaitingCpi(ActivityState::kSpinPause));
+  EXPECT_EQ(WaitingCpi(ActivityState::kSleeping), 0.0);
+}
+
+TEST(Fig5Dvfs, MwaitAndDvfsReducePower) {
+  const PowerModel model = XeonModel();
+  const double vf_max = WaitingPowerWatts(model, 40, ActivityState::kSpinLocal);
+  const double vf_min = WaitingPowerWatts(model, 40, ActivityState::kSpinDvfsMin);
+  const double mwait = WaitingPowerWatts(model, 40, ActivityState::kMwait);
+  EXPECT_GT(vf_max / vf_min, 1.25);  // paper: up to 1.7x
+  EXPECT_GT(vf_max / mwait, 1.3);    // paper: up to 1.5x
+}
+
+TEST(Fig6FutexLatency, TurnaroundAtLeast7000) {
+  for (std::uint64_t delay : {5000ULL, 50000ULL, 300000ULL}) {
+    const FutexLatencyPoint p = MeasureFutexLatency(delay, 7);
+    EXPECT_GE(p.turnaround_cycles, 7000.0) << delay;
+    EXPECT_GT(p.turnaround_cycles, p.wake_call_cycles) << delay;
+  }
+}
+
+TEST(Fig6FutexLatency, WakeCallExpensiveAtLowDelay) {
+  // "for low delays between the two calls, the wake-up call is more
+  // expensive as it waits behind a kernel lock".
+  const FutexLatencyPoint low = MeasureFutexLatency(300, 7);
+  const FutexLatencyPoint high = MeasureFutexLatency(100000, 7);
+  EXPECT_GT(low.wake_call_cycles, high.wake_call_cycles * 1.2);
+}
+
+TEST(Fig6FutexLatency, TurnaroundExplodesPastDeepIdleThreshold) {
+  const FutexLatencyPoint shallow = MeasureFutexLatency(100000, 5);
+  const FutexLatencyPoint deep = MeasureFutexLatency(20000000, 5);
+  EXPECT_GT(deep.turnaround_cycles, shallow.turnaround_cycles * 5);
+}
+
+TEST(Sec44SleepPower, PowerFallsOnceePeriodExceedsSleepLatency) {
+  // The paper's table: 1024 -> 72.03 W, 8192 -> 68.02 W.
+  const SleepPowerPoint p1k = MeasureSleepPower(1024, 14'000'000);
+  const SleepPowerPoint p8k = MeasureSleepPower(8192, 14'000'000);
+  EXPECT_GT(p1k.watts, p8k.watts);
+  // Short periods mostly miss (the sleeper barely gets to block).
+  EXPECT_GT(p1k.sleep_miss_ratio, p8k.sleep_miss_ratio);
+}
+
+TEST(Fig7SpinThenSleep, LargerQuotaLowerPowerHigherThroughput) {
+  const SpinThenSleepPoint ss10 = MeasureSpinThenSleep(20, 10, 14'000'000);
+  const SpinThenSleepPoint ss1000 = MeasureSpinThenSleep(20, 1000, 14'000'000);
+  EXPECT_LT(ss1000.watts, ss10.watts + 1.0);
+  EXPECT_GT(ss1000.handovers_per_s, ss10.handovers_per_s);
+}
+
+TEST(Fig7SpinThenSleep, SpinOnlyBurnsPower) {
+  const SpinThenSleepPoint spin = MeasureSpinThenSleep(30, kSpinOnly, 14'000'000);
+  const SpinThenSleepPoint ss1000 = MeasureSpinThenSleep(30, 1000, 14'000'000);
+  EXPECT_GT(spin.watts, ss1000.watts * 1.5);
+}
+
+TEST(Fig7SpinThenSleep, PureSleepChainIsSlow) {
+  const SpinThenSleepPoint sleep = MeasureSpinThenSleep(20, 0, 14'000'000);
+  const SpinThenSleepPoint ss1000 = MeasureSpinThenSleep(20, 1000, 14'000'000);
+  // Every handover pays the futex turnaround: orders of magnitude slower.
+  EXPECT_LT(sleep.handovers_per_s, ss1000.handovers_per_s / 10);
+}
+
+}  // namespace
+}  // namespace lockin
