@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   const int ops = argc > 1 ? std::atoi(argv[1]) : 50000;
   std::printf("embedded KV store, 4 threads, %d ops/thread (80%% reads/scans)\n\n", ops);
   std::printf("%-10s %15s\n", "lock", "ops/second");
-  for (const char* lock : {"MUTEX", "TICKET", "MUTEXEE", "MCS"}) {
+  for (const char* lock : {"MUTEX", "TICKET", "MUTEXEE", "MCS", "ADAPTIVE"}) {
     std::printf("%-10s %15.0f\n", lock, RunWorkload(lock, ops));
   }
   std::printf("\n(absolute numbers depend on this host; the paper's Figure 13 ratios come\n"

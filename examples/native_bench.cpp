@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "src/energy/model_meter.hpp"
 #include "src/energy/rapl_meter.hpp"
@@ -30,14 +31,19 @@ int main(int argc, char** argv) {
 
   std::printf("%-10s %14s %10s %12s %10s %12s\n", "lock", "tput(acq/s)", "watts",
               "TPP(acq/J)", "p95(cyc)", "p99.99(cyc)");
-  for (const char* name : {"MUTEX", "PTHREAD", "TAS", "TTAS", "TICKET", "MCS", "CLH", "TAS-BO",
-                           "COHORT", "MUTEXEE"}) {
+  for (const std::string& name : RegisteredLockNames()) {
     NativeBenchConfig config;
     config.lock_name = name;
     config.threads = threads;
     config.cs_cycles = cs;
     config.duration_ms = ms;
     config.lock_options.spin.yield_after = 512;  // survive oversubscribed hosts
+    if (name == "MUTEXEE-TO") {
+      // Without a timeout MUTEXEE-TO is byte-for-byte MUTEXEE; give the row
+      // its distinguishing behavior (8 ms bounds the sleepers' tail within
+      // the default 200 ms run).
+      config.lock_options.mutexee.sleep_timeout_ns = 8'000'000;
+    }
     // Report this run's threads as active contexts to the model meter.
     for (int t = 0; t < threads; ++t) {
       registry->SetState(t, ActivityState::kCritical);
@@ -46,7 +52,7 @@ int main(int argc, char** argv) {
     for (int t = 0; t < threads; ++t) {
       registry->SetState(t, ActivityState::kInactive);
     }
-    std::printf("%-10s %14.0f %10.1f %12.0f %10llu %12llu\n", name, r.throughput_per_s,
+    std::printf("%-10s %14.0f %10.1f %12.0f %10llu %12llu\n", name.c_str(), r.throughput_per_s,
                 r.energy.average_watts(), r.tpp,
                 (unsigned long long)r.acquire_latency_cycles.P95(),
                 (unsigned long long)r.acquire_latency_cycles.P9999());

@@ -1,0 +1,122 @@
+// Energy-aware adaptive lock: wraps a TTAS spinlock, a futex mutex and a
+// MUTEXEE behind one Lockable and switches among them at runtime based on
+// the profiler (src/adaptive/lock_stats.hpp) and the policy engine
+// (src/adaptive/policy.hpp).
+//
+// Switching protocol (epoch-based, never while held):
+//
+//   * lock(): read the current backend b, acquire b, then re-validate that
+//     b is still current. A stale acquisition is released and the acquire
+//     retried on the new backend; a validated acquisition owns the adaptive
+//     lock. Validation can only succeed for the backend published by the
+//     previous owner, so two threads can never both validate -- mutual
+//     exclusion reduces to the backends' own.
+//
+//   * unlock(): the owner records the acquisition into the profiler; every
+//     `epoch_acquires` acquisitions it closes the epoch, asks the policy
+//     for the next backend, optionally retunes MUTEXEE's budgets, publishes
+//     the (possibly new) backend, and only then releases. Publishing while
+//     still holding the backend guarantees no other thread is between
+//     validation and release -- the quiesce point the switch needs.
+//
+//   * waiters stranded inside a de-published backend drain naturally: each
+//     eventually acquires it, fails validation, releases (waking the next
+//     stranded waiter, if any) and retries on the current backend. Backends
+//     are therefore never destroyed or re-created, only deselected.
+#ifndef SRC_ADAPTIVE_ADAPTIVE_LOCK_HPP_
+#define SRC_ADAPTIVE_ADAPTIVE_LOCK_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/adaptive/lock_stats.hpp"
+#include "src/adaptive/policy.hpp"
+#include "src/locks/futex_lock.hpp"
+#include "src/locks/mutexee.hpp"
+#include "src/locks/spinlocks.hpp"
+#include "src/platform/cacheline.hpp"
+
+namespace lockin {
+
+struct AdaptiveLockConfig {
+  PolicyConfig policy;
+  // Epoch length in acquisitions. Shorter epochs react faster to phase
+  // changes but run the policy more often; the policy itself is a handful
+  // of comparisons, so even 64 is cheap.
+  std::uint64_t epoch_acquires = 256;
+  // Wait/hold timings are sampled on 1-in-2^sample_shift acquisitions per
+  // thread, keeping the rdtsc reads off the uncontended fast path (the
+  // profiler still counts every acquisition for epoch progress and rates).
+  // 0 samples every acquisition.
+  std::uint32_t sample_shift = 3;
+  AdaptiveBackend initial = AdaptiveBackend::kMutexee;
+
+  // Backend construction parameters.
+  SpinConfig spin;          // TTAS backend (yield_after matters on small hosts)
+  FutexLockConfig sleep;    // futex-mutex backend
+  MutexeeConfig mutexee;    // MUTEXEE backend; budgets are retuned online
+
+  AdaptiveEnergyParams energy = AdaptiveEnergyParams{};
+  double stats_ewma_alpha = 0.2;
+};
+
+class AdaptiveLock {
+ public:
+  AdaptiveLock() : AdaptiveLock(AdaptiveLockConfig{}) {}
+  explicit AdaptiveLock(AdaptiveLockConfig config);
+  // Injects a custom policy (tests use a deterministic switcher).
+  AdaptiveLock(AdaptiveLockConfig config, std::unique_ptr<AdaptivePolicy> policy);
+
+  AdaptiveLock(const AdaptiveLock&) = delete;
+  AdaptiveLock& operator=(const AdaptiveLock&) = delete;
+
+  void lock();
+  bool try_lock();  // may fail spuriously during a backend switch
+  void unlock();
+
+  // Diagnostics. backend() is always safe; the snapshot accessors report
+  // owner-written state and should be read while the lock is idle (tests
+  // read them after joining their threads).
+  AdaptiveBackend backend() const { return current_.load(std::memory_order_relaxed); }
+  const char* backend_name() const { return AdaptiveBackendName(backend()); }
+  std::uint64_t backend_switches() const {
+    return switches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t epochs() const { return epochs_.load(std::memory_order_relaxed); }
+  const LockSiteSnapshot& last_snapshot() const { return stats_.last_snapshot(); }
+  const AdaptivePolicy& policy() const { return *policy_; }
+  const MutexeeLock& mutexee_backend() const { return mutexee_; }
+  const AdaptiveLockConfig& config() const { return config_; }
+
+ private:
+  void LockBackend(AdaptiveBackend b);
+  bool TryLockBackend(AdaptiveBackend b);
+  void UnlockBackend(AdaptiveBackend b);
+  std::uint64_t BackendSleepCalls() const;
+  void OwnerEpochMaintenance();
+
+  AdaptiveLockConfig config_;
+  std::unique_ptr<AdaptivePolicy> policy_;
+
+  TtasLock ttas_;
+  FutexLock futex_;
+  MutexeeLock mutexee_;
+
+  alignas(kCacheLineSize) std::atomic<AdaptiveBackend> current_;
+  std::atomic<std::uint64_t> switches_{0};
+  std::atomic<std::uint64_t> epochs_{0};
+
+  // Owner-only state: written between a validated acquire and the matching
+  // release, i.e. under the adaptive lock itself.
+  AdaptiveBackend held_ = AdaptiveBackend::kMutexee;
+  bool sampled_ = false;
+  std::uint64_t wait_cycles_pending_ = 0;
+  std::uint64_t hold_start_cycles_ = 0;
+  std::uint64_t last_sleep_calls_ = 0;
+  LockSiteStats stats_;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_ADAPTIVE_ADAPTIVE_LOCK_HPP_

@@ -16,11 +16,7 @@ NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* m
   std::vector<std::unique_ptr<LockHandle>> locks;
   locks.reserve(static_cast<std::size_t>(config.locks));
   for (int i = 0; i < config.locks; ++i) {
-    auto lock = MakeLock(config.lock_name, config.lock_options);
-    if (lock == nullptr) {
-      throw std::invalid_argument("unknown lock: " + config.lock_name);
-    }
-    locks.push_back(std::move(lock));
+    locks.push_back(MakeLockOrThrow(config.lock_name, config.lock_options));
   }
 
   const Topology topology = Topology::Detect();

@@ -44,8 +44,10 @@ struct NativeBenchResult {
   LatencyHistogram acquire_latency_cycles;
 };
 
-// Runs the workload. `meter` may be null (throughput only). Throws
-// std::invalid_argument for an unknown lock name.
+// Runs the workload. `meter` may be null (throughput only). Builds locks
+// via MakeLockOrThrow, so an unknown lock name raises std::invalid_argument
+// (the registry's probing API, MakeLock, returns nullptr instead; see
+// src/locks/lock_registry.hpp for the two-level contract).
 NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* meter = nullptr);
 
 }  // namespace lockin

@@ -1,5 +1,7 @@
 #include "src/locks/lock_registry.hpp"
 
+#include <stdexcept>
+
 #include "src/locks/backoff.hpp"
 #include "src/locks/clh.hpp"
 #include "src/locks/futex_lock.hpp"
@@ -51,12 +53,33 @@ std::unique_ptr<LockHandle> MakeLock(const std::string& name, const LockBuildOpt
   if (name == "MUTEXEE-TO") {
     return std::make_unique<LockAdapter<MutexeeLock>>("MUTEXEE-TO", options.mutexee);
   }
+  if (name == "ADAPTIVE") {
+    AdaptiveLockConfig config = options.adaptive;
+    // Registry-wide knobs reach the backends: the spin config keeps TTAS
+    // yielding on oversubscribed hosts, the MUTEXEE config carries budget /
+    // ablation choices made for the static MUTEXEE, and the futex backend
+    // honors the same pre-sleep attempt count as "MUTEX".
+    config.spin = options.spin;
+    config.mutexee = options.mutexee;
+    config.mutexee.sleep_timeout_ns = 0;
+    config.sleep.spin_tries = options.mutex_spin_tries;
+    return std::make_unique<LockAdapter<AdaptiveLock>>("ADAPTIVE", config);
+  }
   return nullptr;
 }
 
+std::unique_ptr<LockHandle> MakeLockOrThrow(const std::string& name,
+                                            const LockBuildOptions& options) {
+  auto lock = MakeLock(name, options);
+  if (lock == nullptr) {
+    throw std::invalid_argument("unknown lock: " + name);
+  }
+  return lock;
+}
+
 std::vector<std::string> RegisteredLockNames() {
-  return {"MUTEX",   "PTHREAD", "TAS",     "TTAS",       "TICKET", "MCS",
-          "CLH",     "TAS-BO",  "COHORT",  "MUTEXEE",    "MUTEXEE-TO"};
+  return {"MUTEX",   "PTHREAD", "TAS",     "TTAS",       "TICKET",   "MCS",
+          "CLH",     "TAS-BO",  "COHORT",  "MUTEXEE",    "MUTEXEE-TO", "ADAPTIVE"};
 }
 
 }  // namespace lockin

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/adaptive/adaptive_lock.hpp"
 #include "src/locks/lock_api.hpp"
 #include "src/locks/mutexee.hpp"
 #include "src/locks/spinlocks.hpp"
@@ -22,14 +23,27 @@ struct LockBuildOptions {
   SpinConfig spin;           // spinlock pausing / yield policy
   MutexeeConfig mutexee;     // MUTEXEE budgets, timeout, ablation switches
   std::uint32_t mutex_spin_tries = 1;  // FutexLock pre-sleep attempts
+  // ADAPTIVE runtime knobs (policy kind, epoch length, thresholds). The
+  // registry overrides its `spin` and `mutexee` backend configs with the
+  // two fields above so registry-wide options reach the backends too.
+  AdaptiveLockConfig adaptive;
 };
 
 // Creates a lock by paper name. Recognized names: "MUTEX" (FutexLock),
 // "PTHREAD" (glibc), "TAS", "TTAS", "TICKET", "MCS", "CLH", "MUTEXEE",
-// "MUTEXEE-TO" (MUTEXEE with the options' timeout). Returns nullptr for
-// unknown names.
+// "MUTEXEE-TO" (MUTEXEE with the options' timeout), "ADAPTIVE" (the
+// energy-aware adaptive runtime, src/adaptive/).
+//
+// Unknown-name contract: MakeLock returns nullptr (callers that probe names
+// need no exception handling); MakeLockOrThrow raises std::invalid_argument
+// naming the offender. RunNativeBench (src/locks/harness.hpp) and the
+// mini-systems build through the throwing variant.
 std::unique_ptr<LockHandle> MakeLock(const std::string& name,
                                      const LockBuildOptions& options = {});
+
+// Like MakeLock, but throws std::invalid_argument for unknown names.
+std::unique_ptr<LockHandle> MakeLockOrThrow(const std::string& name,
+                                            const LockBuildOptions& options = {});
 
 // All registered lock names, in the paper's presentation order.
 std::vector<std::string> RegisteredLockNames();

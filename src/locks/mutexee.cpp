@@ -35,8 +35,9 @@ void MutexeeLock::lock() {
   }
 
   const Mode mode = mode_.load(std::memory_order_relaxed);
-  const std::uint64_t spin_budget =
-      mode == Mode::kSpin ? config_.spin_mode_lock_cycles : config_.mutex_mode_lock_cycles;
+  const std::uint64_t spin_budget = mode == Mode::kSpin
+                                        ? spin_lock_budget_.load(std::memory_order_relaxed)
+                                        : config_.mutex_mode_lock_cycles;
 
   if (SpinAcquire(spin_budget)) {
     acquires_.fetch_add(1, std::memory_order_relaxed);
@@ -122,8 +123,9 @@ void MutexeeLock::unlock() {
     // space within ~one coherence round-trip, the sleepers stay asleep and
     // we skip the (expensive, >= 7000-cycle turnaround) futex wake.
     const Mode mode = mode_.load(std::memory_order_relaxed);
-    const std::uint64_t grace =
-        mode == Mode::kSpin ? config_.spin_mode_grace_cycles : config_.mutex_mode_grace_cycles;
+    const std::uint64_t grace = mode == Mode::kSpin
+                                    ? spin_grace_budget_.load(std::memory_order_relaxed)
+                                    : config_.mutex_mode_grace_cycles;
     const std::uint64_t start = ReadCycles();
     while (ReadCycles() - start < grace) {
       if (state_.load(std::memory_order_relaxed) != 0) {

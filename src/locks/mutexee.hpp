@@ -86,11 +86,29 @@ class MutexeeLock {
   };
 
   MutexeeLock() = default;
-  explicit MutexeeLock(MutexeeConfig config) : config_(config) {}
+  explicit MutexeeLock(MutexeeConfig config)
+      : config_(config),
+        spin_lock_budget_(config.spin_mode_lock_cycles),
+        spin_grace_budget_(config.spin_mode_grace_cycles) {}
 
   void lock();
   bool try_lock();
   void unlock();
+
+  // Retunes the spin-mode budgets online (the adaptive runtime derives new
+  // budgets per contention regime; see src/adaptive/policy.hpp). Safe to
+  // call concurrently with lock/unlock: budgets are atomics read once per
+  // acquire/release. Mutex-mode budgets stay at their configured values.
+  void Retune(std::uint64_t spin_lock_cycles, std::uint64_t spin_grace_cycles) {
+    spin_lock_budget_.store(spin_lock_cycles, std::memory_order_relaxed);
+    spin_grace_budget_.store(spin_grace_cycles, std::memory_order_relaxed);
+  }
+  std::uint64_t spin_lock_budget() const {
+    return spin_lock_budget_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spin_grace_budget() const {
+    return spin_grace_budget_.load(std::memory_order_relaxed);
+  }
 
   Mode mode() const { return mode_.load(std::memory_order_relaxed); }
   Stats GetStats() const;
@@ -107,6 +125,10 @@ class MutexeeLock {
   void MaybeAdapt();
 
   MutexeeConfig config_{};
+
+  // Live spin-mode budgets; initialized from config_, updated by Retune().
+  std::atomic<std::uint64_t> spin_lock_budget_{MutexeeConfig{}.spin_mode_lock_cycles};
+  std::atomic<std::uint64_t> spin_grace_budget_{MutexeeConfig{}.spin_mode_grace_cycles};
 
   // 0 = free, 1 = locked, no advertised sleepers, 2 = locked, sleepers.
   alignas(kCacheLineSize) std::atomic<std::uint32_t> state_{0};

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+#include <vector>
 
 namespace lockin {
 
@@ -187,6 +189,23 @@ void SimFutexMutex::Acquire(int tid, std::function<void()> on_acquired) {
 }
 
 void SimFutexMutex::EnterSleepLoop(int tid) {
+  // glibc's sleep path exchanges the state word before FUTEX_WAIT and owns
+  // the lock outright when it reads 0 -- a releaser that slipped between our
+  // spin phase and here can never be missed. Without this check the lock
+  // can sit free with every waiter asleep (no barging arrival would rescue
+  // it, e.g. while the adaptive runtime drains this backend). The exchange
+  // pays one contended line round trip before ownership is decided.
+  if (!held_) {
+    const std::uint64_t exchange_cost = 2 * machine_->params().line_transfer_cycles;
+    machine_->RunFor(tid, exchange_cost, config_.spin_state, [this, tid] {
+      if (!held_) {
+        TakeOwnership(tid, /*via_futex=*/false);
+      } else {
+        EnterSleepLoop(tid);  // lost the race after all; sleep for real
+      }
+    });
+    return;
+  }
   futex_.Sleep(tid, 0, [this, tid](SimFutex::WakeReason) {
     // Running again: retry the acquire.
     if (!held_) {
@@ -328,6 +347,20 @@ void SimMutexee::Acquire(int tid, std::function<void()> on_acquired) {
 }
 
 void SimMutexee::EnterSleepLoop(int tid) {
+  // Same pre-sleep recheck as the native CAS loop (state 0 -> acquired): a
+  // release between spin expiry and the sleep call must not be lost. The
+  // CAS pays one contended line round trip.
+  if (!held_) {
+    const std::uint64_t exchange_cost = 2 * machine_->params().line_transfer_cycles;
+    machine_->RunFor(tid, exchange_cost, ActivityState::kSpinMbar, [this, tid] {
+      if (!held_) {
+        TakeOwnership(tid, /*kind=*/0);
+      } else {
+        EnterSleepLoop(tid);
+      }
+    });
+    return;
+  }
   const std::uint64_t timeout_cycles =
       config_.base.sleep_timeout_ns == 0
           ? 0
@@ -403,11 +436,154 @@ void SimMutexee::Release(int tid, std::function<void()> on_released) {
 }
 
 // ---------------------------------------------------------------------------
+// SimAdaptiveLock
+// ---------------------------------------------------------------------------
+
+SimAdaptiveLock::SimAdaptiveLock(SimMachine* machine, SimAdaptiveConfig config,
+                                 const SimLockOptions& inner_options)
+    : SimLock(machine),
+      config_(std::move(config)),
+      policy_(MakePolicy(config_.policy)),
+      profile_(AdaptiveEnergyParams::FromPowerParams(
+          config_.power, machine->params().cycles_per_second)) {
+  inner_[static_cast<int>(AdaptiveBackend::kSpin)] =
+      MakeSimLock("TTAS", machine, inner_options);
+  inner_[static_cast<int>(AdaptiveBackend::kSleep)] =
+      MakeSimLock("MUTEX", machine, inner_options);
+  inner_[static_cast<int>(AdaptiveBackend::kMutexee)] =
+      MakeSimLock("MUTEXEE", machine, inner_options);
+}
+
+std::uint64_t SimAdaptiveLock::InnerSleepCalls() const {
+  std::uint64_t sleeps = 0;
+  for (const auto& inner : inner_) {
+    if (const SimFutex::Stats* fs = inner->futex_stats()) {
+      sleeps += fs->sleep_calls;
+    }
+  }
+  return sleeps;
+}
+
+void SimAdaptiveLock::IssueAcquire(AdaptiveBackend b, int tid,
+                                   std::function<void()> on_acquired,
+                                   SimTime requested_at) {
+  ++outstanding_;
+  Inner(b).Acquire(tid, [this, requested_at, cb = std::move(on_acquired)]() mutable {
+    const SimTime now = machine_->engine().now();
+    pending_wait_cycles_ = now - requested_at;
+    holder_granted_at_ = now;
+    cb();
+  });
+}
+
+void SimAdaptiveLock::Acquire(int tid, std::function<void()> on_acquired) {
+  const SimTime requested_at = machine_->engine().now();
+  if (switching_) {
+    // Park outside the draining backend, burning spin power like the native
+    // lock's retry loop would.
+    parked_.push_back(Parked{tid, std::move(on_acquired), requested_at});
+    machine_->RunFor(tid, SimMachine::kInfiniteWork, ActivityState::kSpinMbar, nullptr);
+    return;
+  }
+  IssueAcquire(current_, tid, std::move(on_acquired), requested_at);
+}
+
+void SimAdaptiveLock::EpochMaintenance(SimTime now) {
+  const std::uint64_t sleeps = InnerSleepCalls();
+  const LockSiteSnapshot snapshot = profile_.EndEpoch(now, sleeps - last_sleep_calls_);
+  last_sleep_calls_ = sleeps;
+  ++epochs_;
+  if (switching_) {
+    return;  // one switch at a time; the policy re-decides next epoch
+  }
+  const AdaptiveBackend next = policy_->Decide(snapshot, current_);
+  if (config_.policy.retune_mutexee &&
+      (next == AdaptiveBackend::kMutexee || current_ == AdaptiveBackend::kMutexee)) {
+    // Mirror the native runtime: keep MUTEXEE's budgets matched to the
+    // observed regime, inside the tuner-derived bounds.
+    const MutexeeBudgets budgets =
+        RetuneMutexeeBudgets(snapshot, config_.policy.mutexee_bounds);
+    static_cast<SimMutexee&>(Inner(AdaptiveBackend::kMutexee))
+        .Retune(budgets.spin_cycles, budgets.grace_cycles);
+  }
+  if (next != current_) {
+    switching_ = true;
+    next_ = next;
+  }
+}
+
+void SimAdaptiveLock::Release(int tid, std::function<void()> on_released) {
+  const SimTime now = machine_->engine().now();
+  profile_.RecordAcquire(pending_wait_cycles_, now - holder_granted_at_);
+  if (profile_.epoch_acquires() >= config_.epoch_acquires) {
+    EpochMaintenance(now);
+  }
+  // Every in-flight acquisition targets the same backend (a switch only
+  // completes after they drain), so the holder releases the active one.
+  Inner(current_).Release(tid, [this, cb = std::move(on_released)]() mutable {
+    --outstanding_;
+    MaybeFinishSwitch();
+    cb();
+  });
+}
+
+void SimAdaptiveLock::MaybeFinishSwitch() {
+  if (!switching_ || outstanding_ != 0) {
+    return;
+  }
+  current_ = next_;
+  switching_ = false;
+  ++switches_;
+  std::vector<Parked> parked = std::move(parked_);
+  parked_.clear();
+  for (Parked& p : parked) {
+    machine_->CancelWork(p.tid);  // end the parking spin
+    IssueAcquire(current_, p.tid, std::move(p.on_acquired), p.requested_at);
+  }
+}
+
+const SimLockStats& SimAdaptiveLock::stats() const {
+  aggregated_ = SimLockStats{};
+  for (const auto& inner : inner_) {
+    const SimLockStats& s = inner->stats();
+    aggregated_.acquires += s.acquires;
+    aggregated_.spin_handovers += s.spin_handovers;
+    aggregated_.futex_handovers += s.futex_handovers;
+    aggregated_.timeout_handovers += s.timeout_handovers;
+    aggregated_.wake_skips += s.wake_skips;
+    aggregated_.resleeps += s.resleeps;
+  }
+  return aggregated_;
+}
+
+const SimFutex::Stats* SimAdaptiveLock::futex_stats() const {
+  aggregated_futex_ = SimFutex::Stats{};
+  for (const auto& inner : inner_) {
+    if (const SimFutex::Stats* fs = inner->futex_stats()) {
+      aggregated_futex_.sleep_calls += fs->sleep_calls;
+      aggregated_futex_.sleep_misses += fs->sleep_misses;
+      aggregated_futex_.wake_calls += fs->wake_calls;
+      aggregated_futex_.threads_woken += fs->threads_woken;
+      aggregated_futex_.timeouts += fs->timeouts;
+      aggregated_futex_.deep_sleeps += fs->deep_sleeps;
+    }
+  }
+  return &aggregated_futex_;
+}
+
+// ---------------------------------------------------------------------------
 // Factory
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<SimLock> MakeSimLock(const std::string& name, SimMachine* machine,
                                      const SimLockOptions& options) {
+  if (name == "ADAPTIVE") {
+    SimAdaptiveConfig config;
+    config.policy = options.adaptive_policy;
+    config.epoch_acquires = options.adaptive_epoch_acquires;
+    config.power = options.power;
+    return std::make_unique<SimAdaptiveLock>(machine, config, options);
+  }
   if (name == "MUTEX") {
     SimFutexMutexConfig config;
     config.spin_cycles = options.mutex_spin_cycles;

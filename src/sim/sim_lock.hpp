@@ -29,6 +29,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/adaptive/lock_stats.hpp"
+#include "src/adaptive/policy.hpp"
 #include "src/locks/mutexee.hpp"
 #include "src/platform/rng.hpp"
 #include "src/sim/futex_model.hpp"
@@ -60,7 +62,9 @@ class SimLock {
 
   virtual std::string name() const = 0;
 
-  const SimLockStats& stats() const { return stats_; }
+  // Virtual so delegating locks (SimAdaptiveLock) can aggregate their inner
+  // locks' counters.
+  virtual const SimLockStats& stats() const { return stats_; }
   virtual const SimFutex::Stats* futex_stats() const { return nullptr; }
 
  protected:
@@ -178,6 +182,15 @@ class SimMutexee final : public SimLock {
 
   MutexeeLock::Mode mode() const { return mode_; }
 
+  // Online retuning of the spin-mode budgets, mirroring the native
+  // MutexeeLock::Retune. Safe between events: budgets are read once per
+  // acquire/release.
+  void Retune(std::uint64_t spin_lock_cycles, std::uint64_t spin_grace_cycles) {
+    config_.base.spin_mode_lock_cycles = spin_lock_cycles;
+    config_.base.spin_mode_grace_cycles = spin_grace_cycles;
+  }
+  std::uint64_t spin_lock_budget() const { return config_.base.spin_mode_lock_cycles; }
+
  private:
   void EnterSleepLoop(int tid);
   void BecomePersistentSpinner(int tid);
@@ -197,16 +210,95 @@ class SimMutexee final : public SimLock {
 };
 
 // ---------------------------------------------------------------------------
+// ADAPTIVE: the energy-aware adaptive runtime (src/adaptive/), simulated.
+//
+// Delegates to inner TTAS / MUTEX / MUTEXEE models and re-decides the
+// backend per epoch through the *same* policy engine the native runtime
+// uses (src/adaptive/policy.hpp). Switching is drain-based: once the policy
+// picks a new backend, new arrivals park (spinning) outside the old one;
+// when the old backend's in-flight acquisitions have drained, the parked
+// arrivals are flushed to the new backend -- the simulated counterpart of
+// the native lock's validate-on-acquire epoch switch.
+// ---------------------------------------------------------------------------
+struct SimAdaptiveConfig {
+  PolicyConfig policy;              // shared native policy engine
+  std::uint64_t epoch_acquires = 128;
+  std::string name = "ADAPTIVE";
+  // Power calibration for the profiler's energy-per-acquire estimate; must
+  // match the machine the workload charges Joules with (WorkloadEnv::power)
+  // or the TPP-maximizing policy optimizes the wrong platform.
+  PowerParams power = PowerParams::PaperXeon();
+};
+
+class SimAdaptiveLock final : public SimLock {
+ public:
+  // `inner_options` configures the delegate locks (MUTEXEE budgets, seeds).
+  SimAdaptiveLock(SimMachine* machine, SimAdaptiveConfig config,
+                  const struct SimLockOptions& inner_options);
+
+  void Acquire(int tid, std::function<void()> on_acquired) override;
+  void Release(int tid, std::function<void()> on_released) override;
+  std::string name() const override { return config_.name; }
+  const SimLockStats& stats() const override;
+  const SimFutex::Stats* futex_stats() const override;
+
+  AdaptiveBackend backend() const { return current_; }
+  std::uint64_t backend_switches() const { return switches_; }
+  std::uint64_t epochs() const { return epochs_; }
+
+ private:
+  struct Parked {
+    int tid;
+    std::function<void()> on_acquired;
+    SimTime requested_at;
+  };
+
+  SimLock& Inner(AdaptiveBackend b) { return *inner_[static_cast<int>(b)]; }
+  const SimLock& Inner(AdaptiveBackend b) const { return *inner_[static_cast<int>(b)]; }
+  void IssueAcquire(AdaptiveBackend b, int tid, std::function<void()> on_acquired,
+                    SimTime requested_at);
+  void EpochMaintenance(SimTime now);
+  void MaybeFinishSwitch();
+  std::uint64_t InnerSleepCalls() const;
+
+  SimAdaptiveConfig config_;
+  std::unique_ptr<AdaptivePolicy> policy_;
+  std::unique_ptr<SimLock> inner_[kAdaptiveBackendCount];
+  LockSiteStats profile_;
+
+  AdaptiveBackend current_ = AdaptiveBackend::kMutexee;
+  bool switching_ = false;
+  AdaptiveBackend next_ = AdaptiveBackend::kMutexee;
+  std::uint64_t outstanding_ = 0;  // issued to the active backend, not yet released
+  std::vector<Parked> parked_;     // arrivals held back during a switch
+  std::uint64_t switches_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t last_sleep_calls_ = 0;
+
+  // Owner bookkeeping (one holder at a time by construction).
+  SimTime holder_granted_at_ = 0;
+  std::uint64_t pending_wait_cycles_ = 0;
+
+  mutable SimLockStats aggregated_;
+  mutable SimFutex::Stats aggregated_futex_;
+};
+
+// ---------------------------------------------------------------------------
 // Factory: paper lock names -> simulated locks.
 // ---------------------------------------------------------------------------
 struct SimLockOptions {
   MutexeeConfig mutexee;            // budgets / timeout for MUTEXEE variants
   std::uint64_t mutex_spin_cycles = 300;
   std::uint64_t rng_seed = 42;
+  // ADAPTIVE runtime knobs. `power` must mirror the WorkloadEnv's power
+  // params (RunLockWorkload's setup copies it over).
+  PolicyConfig adaptive_policy;
+  std::uint64_t adaptive_epoch_acquires = 128;
+  PowerParams power = PowerParams::PaperXeon();
 };
 
 // Names: MUTEX, TAS, TTAS, TICKET, MCS, CLH, TAS-BO, COHORT, MUTEXEE,
-// MUTEXEE-TO.
+// MUTEXEE-TO, ADAPTIVE.
 std::unique_ptr<SimLock> MakeSimLock(const std::string& name, SimMachine* machine,
                                      const SimLockOptions& options = {});
 

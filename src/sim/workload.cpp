@@ -75,19 +75,20 @@ struct Driver {
   }
 };
 
-}  // namespace
-
-WorkloadResult RunLockWorkload(const std::string& lock_name, const WorkloadConfig& config,
-                               const WorkloadEnv& env) {
-  Driver driver;
-  driver.config = &config;
+// Builds machine, locks and threads for `config` and schedules the thread
+// loops. `driver.config` must already point at the (possibly phase-mutated)
+// live configuration.
+void SetupDriver(Driver& driver, const std::string& lock_name, const WorkloadConfig& config,
+                 const WorkloadEnv& env) {
   driver.machine =
       std::make_unique<SimMachine>(&driver.engine, env.topology, env.power, env.sim);
-  driver.end_time = config.duration_cycles;
 
   for (int i = 0; i < config.locks; ++i) {
     SimLockOptions options = env.lock_options;
     options.rng_seed = config.seed * 7919 + static_cast<std::uint64_t>(i);
+    // The adaptive profiler must estimate energy with the same calibration
+    // the machine charges Joules with.
+    options.power = env.power;
     driver.locks.push_back(MakeSimLock(lock_name, driver.machine.get(), options));
   }
 
@@ -106,6 +107,16 @@ WorkloadResult RunLockWorkload(const std::string& lock_name, const WorkloadConfi
       driver.ThreadLoop(tid);
     });
   }
+}
+
+}  // namespace
+
+WorkloadResult RunLockWorkload(const std::string& lock_name, const WorkloadConfig& config,
+                               const WorkloadEnv& env) {
+  Driver driver;
+  driver.config = &config;
+  driver.end_time = config.duration_cycles;
+  SetupDriver(driver, lock_name, config, env);
 
   driver.engine.RunUntil(config.duration_cycles);
 
@@ -153,6 +164,78 @@ WorkloadResult RunLockWorkload(const std::string& lock_name, const WorkloadConfi
       result.futex_stats.deep_sleeps += fs->deep_sleeps;
     }
   }
+  return result;
+}
+
+PhasedWorkloadResult RunPhasedLockWorkload(const std::string& lock_name,
+                                           const WorkloadConfig& base,
+                                           const std::vector<WorkloadPhase>& phases,
+                                           const WorkloadEnv& env) {
+  PhasedWorkloadResult result;
+  result.lock_name = lock_name;
+  if (phases.empty()) {
+    return result;
+  }
+
+  // Live configuration the driver reads; mutated in place at boundaries so
+  // the locks (and their adaptation state) persist across phases.
+  WorkloadConfig active = base;
+  auto apply_phase = [&active](const WorkloadPhase& phase) {
+    active.cs_cycles = phase.cs_cycles;
+    active.non_cs_cycles = phase.non_cs_cycles;
+    active.blocked_cycles = phase.blocked_cycles;
+    active.randomize_cs = phase.randomize_cs;
+  };
+  apply_phase(phases.front());
+
+  std::uint64_t total_cycles = 0;
+  for (const WorkloadPhase& phase : phases) {
+    total_cycles += phase.duration_cycles;
+  }
+  active.duration_cycles = total_cycles;
+
+  Driver driver;
+  driver.config = &active;
+  driver.end_time = total_cycles;
+  SetupDriver(driver, lock_name, active, env);
+
+  std::uint64_t closed_acquires = 0;
+  double closed_joules = 0.0;
+  auto close_phase = [&](std::uint64_t phase_cycles) {
+    const SimMachine::EnergyTotals energy = driver.machine->Energy();
+    PhaseResult phase;
+    phase.acquires = driver.total_acquires - closed_acquires;
+    phase.seconds = static_cast<double>(phase_cycles) / env.sim.cycles_per_second;
+    phase.joules = energy.total_joules() - closed_joules;
+    phase.watts = phase.seconds > 0 ? phase.joules / phase.seconds : 0.0;
+    phase.throughput_per_s =
+        phase.seconds > 0 ? static_cast<double>(phase.acquires) / phase.seconds : 0.0;
+    phase.tpp = phase.joules > 0 ? static_cast<double>(phase.acquires) / phase.joules : 0.0;
+    result.phases.push_back(phase);
+    closed_acquires = driver.total_acquires;
+    closed_joules = energy.total_joules();
+  };
+
+  std::uint64_t elapsed = 0;
+  for (std::size_t i = 0; i + 1 < phases.size(); ++i) {
+    elapsed += phases[i].duration_cycles;
+    const std::uint64_t phase_cycles = phases[i].duration_cycles;
+    const WorkloadPhase next = phases[i + 1];
+    driver.engine.Schedule(elapsed, [&, phase_cycles, next] {
+      close_phase(phase_cycles);
+      apply_phase(next);
+    });
+  }
+
+  driver.engine.RunUntil(total_cycles);
+  close_phase(phases.back().duration_cycles);
+
+  result.total_acquires = driver.total_acquires;
+  result.seconds = static_cast<double>(total_cycles) / env.sim.cycles_per_second;
+  result.joules = driver.machine->Energy().total_joules();
+  result.tpp = result.joules > 0
+                   ? static_cast<double>(driver.total_acquires) / result.joules
+                   : 0.0;
   return result;
 }
 

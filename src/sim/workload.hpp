@@ -77,6 +77,47 @@ struct WorkloadEnv {
 WorkloadResult RunLockWorkload(const std::string& lock_name, const WorkloadConfig& config,
                                const WorkloadEnv& env = {});
 
+// --- Phase-change workloads (bench/fig16_adaptive.cpp) ----------------------
+//
+// One continuous run whose contention regime changes at phase boundaries:
+// the locks (and their adaptation state) persist across phases, which is
+// exactly what distinguishes an adaptive runtime from re-tuning per run.
+
+// Per-phase overrides applied to the base WorkloadConfig at the boundary.
+struct WorkloadPhase {
+  std::uint64_t duration_cycles = 28000000;
+  std::uint64_t cs_cycles = 1000;
+  std::uint64_t non_cs_cycles = 100;
+  std::uint64_t blocked_cycles = 0;
+  bool randomize_cs = false;
+};
+
+struct PhaseResult {
+  std::uint64_t acquires = 0;
+  double seconds = 0.0;
+  double joules = 0.0;
+  double watts = 0.0;
+  double throughput_per_s = 0.0;
+  double tpp = 0.0;  // acquires/Joule within the phase
+};
+
+struct PhasedWorkloadResult {
+  std::string lock_name;
+  std::vector<PhaseResult> phases;
+  // Whole-run totals.
+  std::uint64_t total_acquires = 0;
+  double seconds = 0.0;
+  double joules = 0.0;
+  double tpp = 0.0;
+};
+
+// Runs `phases` back to back with one set of locks (thread count, lock count
+// and seed come from `base`; per-phase knobs from each WorkloadPhase).
+PhasedWorkloadResult RunPhasedLockWorkload(const std::string& lock_name,
+                                           const WorkloadConfig& base,
+                                           const std::vector<WorkloadPhase>& phases,
+                                           const WorkloadEnv& env = {});
+
 }  // namespace lockin
 
 #endif  // SRC_SIM_WORKLOAD_HPP_

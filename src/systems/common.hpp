@@ -20,12 +20,14 @@ using LockFactory = std::function<std::unique_ptr<LockHandle>()>;
 
 // Factory for a registered lock name with default options. On hosts with
 // fewer cores than threads, spinlocks yield after a bounded number of spins
-// so tests cannot livelock (see SpinConfig::yield_after).
+// so tests cannot livelock (see SpinConfig::yield_after). Unknown names
+// raise std::invalid_argument at system construction (the registry's
+// throwing contract) instead of handing the system a null lock.
 inline LockFactory NamedLockFactory(const std::string& name, std::uint32_t yield_after = 1024) {
   return [name, yield_after] {
     LockBuildOptions options;
     options.spin.yield_after = yield_after;
-    return MakeLock(name, options);
+    return MakeLockOrThrow(name, options);
   };
 }
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -141,7 +142,8 @@ TEST_P(LockParamTest, TryLockAlsoExcludes) {
 
 INSTANTIATE_TEST_SUITE_P(AllLocks, LockParamTest,
                          ::testing::Values("MUTEX", "PTHREAD", "TAS", "TTAS", "TICKET", "MCS",
-                                           "CLH", "TAS-BO", "COHORT", "MUTEXEE", "MUTEXEE-TO"),
+                                           "CLH", "TAS-BO", "COHORT", "MUTEXEE", "MUTEXEE-TO",
+                                           "ADAPTIVE"),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            std::string name = info.param;
                            for (char& c : name) {
@@ -156,9 +158,16 @@ TEST(LockRegistry, UnknownNameReturnsNull) {
   EXPECT_EQ(MakeLock("NOPE"), nullptr);
 }
 
+TEST(LockRegistry, UnknownNameThrowsInThrowingVariant) {
+  // The two-level contract: MakeLock probes (nullptr), MakeLockOrThrow
+  // raises -- the exception RunNativeBench documents comes from here.
+  EXPECT_THROW(MakeLockOrThrow("NOPE"), std::invalid_argument);
+  EXPECT_NE(MakeLockOrThrow("MUTEX"), nullptr);
+}
+
 TEST(LockRegistry, ListsAllNames) {
   const auto names = RegisteredLockNames();
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 12u);
   for (const auto& name : names) {
     EXPECT_NE(MakeLock(name, TestOptions()), nullptr) << name;
   }

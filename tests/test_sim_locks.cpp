@@ -141,11 +141,16 @@ TEST(SimLockOrdering, MutexLosesThroughputUnderContention) {
 }
 
 TEST(SimLockOrdering, MutexeeBeatsMutexInThroughputAndTpp) {
-  // The paper's core result (Figure 8 / section 5.1 table).
+  // The paper's core result (Figure 8 / section 5.1 table). The margin is
+  // 1.2x: since the futex model gained glibc's pre-sleep exchange (a waiter
+  // whose spin expired right after a release acquires in user space instead
+  // of sleeping), simulated MUTEX no longer loses those handovers and sits
+  // ~23% behind MUTEXEE here -- in line with the paper's average 28% gap
+  // across configurations.
   const WorkloadResult mutex = RunSweep("MUTEX", 20, 2000);
   const WorkloadResult mutexee = RunSweep("MUTEXEE", 20, 2000);
-  EXPECT_GT(mutexee.throughput_per_s, mutex.throughput_per_s * 1.3);
-  EXPECT_GT(mutexee.tpp, mutex.tpp * 1.3);
+  EXPECT_GT(mutexee.throughput_per_s, mutex.throughput_per_s * 1.2);
+  EXPECT_GT(mutexee.tpp, mutex.tpp * 1.2);
   EXPECT_LT(mutexee.average_watts, mutex.average_watts * 1.05);
 }
 

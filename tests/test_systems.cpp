@@ -341,7 +341,7 @@ TEST_P(SystemsLockParam, GraphStoreConcurrentLinkWrites) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Locks, SystemsLockParam,
-                         ::testing::Values("MUTEX", "TICKET", "MUTEXEE", "MCS"),
+                         ::testing::Values("MUTEX", "TICKET", "MUTEXEE", "MCS", "ADAPTIVE"),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return info.param;
                          });
