@@ -7,10 +7,17 @@ namespace lockin {
 EventId SimEngine::Schedule(SimTime delay, std::function<void()> fn) {
   const EventId id = next_id_++;
   queue_.push(Event{now_ + delay, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
-void SimEngine::Cancel(EventId id) { cancelled_.insert(id); }
+void SimEngine::Cancel(EventId id) {
+  // Erasing from the live set is the whole cancellation: the queue entry
+  // becomes a tombstone dropped when the clock reaches it. An id that
+  // already ran (or a stale handle) is absent, so the call is a no-op --
+  // nothing grows without bound over a long simulation.
+  live_.erase(id);
+}
 
 void SimEngine::RunUntil(SimTime until) {
   while (!queue_.empty()) {
@@ -18,8 +25,8 @@ void SimEngine::RunUntil(SimTime until) {
     if (top.time > until) {
       break;
     }
-    if (cancelled_.erase(top.id) > 0) {
-      queue_.pop();
+    if (live_.erase(top.id) == 0) {
+      queue_.pop();  // cancellation tombstone
       continue;
     }
     Event event = top;  // copy out before pop invalidates the reference
@@ -36,7 +43,7 @@ void SimEngine::RunUntil(SimTime until) {
 void SimEngine::RunAll() {
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (cancelled_.erase(top.id) > 0) {
+    if (live_.erase(top.id) == 0) {
       queue_.pop();
       continue;
     }

@@ -39,8 +39,13 @@ class SimEngine {
   // Runs until the queue is empty.
   void RunAll();
 
-  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return live_.size(); }
   std::uint64_t executed_events() const { return executed_; }
+
+  // Cancelled events still occupying queue memory (drained lazily as the
+  // clock reaches them). Bounded by the queue size; cancelling an event
+  // that already ran must not grow it.
+  std::size_t cancel_backlog() const { return queue_.size() - live_.size(); }
 
  private:
   struct Event {
@@ -60,7 +65,9 @@ class SimEngine {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<EventId> cancelled_;
+  // Queued ids that have not been cancelled; a queued id absent from this
+  // set is a cancellation tombstone, dropped when the queue reaches it.
+  std::unordered_set<EventId> live_;
 };
 
 }  // namespace lockin

@@ -60,6 +60,51 @@ TEST(SimEngine, CancelIsIdempotentAndSelective) {
   EXPECT_EQ(runs, 1);
 }
 
+// Regression: cancelling events that already ran (or stale/bogus handles)
+// must not accumulate tombstones or corrupt the pending count. The original
+// engine inserted every cancelled id into an unordered_set unconditionally,
+// so a long-running workload that cancels already-fired timers (quantum
+// timers, futex timeouts) grew that set without bound and pending_events()
+// underflowed.
+TEST(SimEngine, CancelAfterExecutionDoesNotAccumulate) {
+  SimEngine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(engine.Schedule(static_cast<SimTime>(i), [] {}));
+  }
+  engine.RunAll();
+  for (const EventId id : ids) {
+    engine.Cancel(id);  // every one of these already ran
+    engine.Cancel(id);
+  }
+  EXPECT_EQ(engine.cancel_backlog(), 0u);
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_EQ(engine.executed_events(), 1000u);
+}
+
+TEST(SimEngine, CancelOfUnknownHandleIsNoOp) {
+  SimEngine engine;
+  engine.Cancel(0);
+  engine.Cancel(123456789u);
+  bool ran = false;
+  engine.Schedule(5, [&] { ran = true; });
+  EXPECT_EQ(engine.cancel_backlog(), 0u);
+  engine.RunAll();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEngine, CancelBacklogDrainsLazily) {
+  SimEngine engine;
+  const EventId id = engine.Schedule(10, [] {});
+  engine.Schedule(20, [] {});
+  engine.Cancel(id);
+  EXPECT_EQ(engine.cancel_backlog(), 1u);
+  EXPECT_EQ(engine.pending_events(), 1u);
+  engine.RunAll();
+  EXPECT_EQ(engine.cancel_backlog(), 0u);
+  EXPECT_EQ(engine.executed_events(), 1u);
+}
+
 TEST(SimEngine, RunUntilStopsAtBoundary) {
   SimEngine engine;
   int runs = 0;
