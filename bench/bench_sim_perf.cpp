@@ -1,0 +1,273 @@
+// Simulator engine throughput tracker (BENCH_sim.json).
+//
+// Every figure bench and every ctest in this repo runs on the discrete-event
+// simulator, so simulator wall-clock *is* the repo's iteration speed. This
+// binary measures it two ways and emits a machine-readable record so the
+// perf trajectory is visible PR-over-PR:
+//
+//   1. A raw engine microbench shaped like the lock workloads' event
+//      pattern: per-thread self-rescheduling chains with near-monotonic
+//      delays, each step arming a companion timeout that is almost always
+//      cancelled before it fires (the futex-timeout / scheduler-quantum
+//      pattern machine.cpp and futex_model.cpp generate).
+//   2. End-to-end simulated workloads on the fig16 (adaptive phase-change)
+//      and fig13 (oversubscribed systems) shapes, reporting simulated
+//      cycles per wall-second.
+//
+// Output: aligned tables (or --csv/--json), plus BENCH_sim.json in the
+// current directory with at least
+//   {"events_per_sec": ..., "workload_sim_cycles_per_sec": ...}.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/sysmodel.hpp"
+#include "src/sim/workload.hpp"
+
+namespace lockin {
+namespace {
+
+double WallSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// --- 1. Raw engine microbench ----------------------------------------------
+struct EngineBenchResult {
+  std::uint64_t executed = 0;
+  std::uint64_t cancels = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+struct ChainDriver {
+  SimEngine engine;
+  std::uint64_t remaining = 0;
+  std::uint64_t cancels = 0;
+  std::vector<EventId> timeout;  // pending companion timeout per chain
+
+  void Step(int chain) {
+    if (remaining == 0) {
+      // Chain winds down: drop its armed timeout so the queue drains clean.
+      if (timeout[chain] != 0) {
+        engine.Cancel(timeout[chain]);
+        timeout[chain] = 0;
+      }
+      return;
+    }
+    --remaining;
+    // Re-arm the companion timeout: cancel the previous one (it has not
+    // fired -- steps are far shorter than the timeout), arm a fresh one.
+    if (timeout[chain] != 0) {
+      engine.Cancel(timeout[chain]);
+      ++cancels;
+    }
+    const int c = chain;
+    timeout[chain] = engine.Schedule(50000, [this, c] { timeout[c] = 0; });
+    engine.Schedule(100 + static_cast<SimTime>(chain) * 13, [this, c] { Step(c); });
+  }
+};
+
+EngineBenchResult RunEngineMicrobench(int chains, std::uint64_t target_events) {
+  ChainDriver driver;
+  driver.remaining = target_events;
+  driver.timeout.assign(static_cast<std::size_t>(chains), 0);
+  for (int c = 0; c < chains; ++c) {
+    const int chain = c;
+    driver.engine.Schedule(static_cast<SimTime>(c) * 97,
+                           [&driver, chain] { driver.Step(chain); });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  driver.engine.RunAll();
+  EngineBenchResult result;
+  result.wall_seconds = WallSeconds(start);
+  result.executed = driver.engine.executed_events();
+  result.cancels = driver.cancels;
+  result.events_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.executed) / result.wall_seconds
+                              : 0.0;
+  return result;
+}
+
+// Steady-state allocation check: after a warmup that sizes the slab pool
+// and heap array, pushing millions more events through the engine must not
+// allocate (slab blocks, queue capacity and callback heap-spills all
+// frozen). This is the pool-stats contract the event core promises.
+struct SteadyStateResult {
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;  // pool growth events after warmup (want 0)
+  SimEngine::PoolStats stats;
+};
+
+SteadyStateResult RunSteadyStateCheck(int chains, std::uint64_t target_events) {
+  ChainDriver warm;
+  warm.remaining = target_events / 4;
+  warm.timeout.assign(static_cast<std::size_t>(chains), 0);
+  for (int c = 0; c < chains; ++c) {
+    const int chain = c;
+    warm.engine.Schedule(static_cast<SimTime>(c) * 97,
+                         [&warm, chain] { warm.Step(chain); });
+  }
+  warm.engine.RunAll();
+  const SimEngine::PoolStats before = warm.engine.pool_stats();
+  // Same chain pattern again on the warmed engine.
+  warm.remaining = target_events;
+  for (int c = 0; c < chains; ++c) {
+    const int chain = c;
+    warm.engine.Schedule(static_cast<SimTime>(c) * 97,
+                         [&warm, chain] { warm.Step(chain); });
+  }
+  const std::uint64_t executed_before = warm.engine.executed_events();
+  warm.engine.RunAll();
+  const SimEngine::PoolStats after = warm.engine.pool_stats();
+
+  SteadyStateResult result;
+  result.events = warm.engine.executed_events() - executed_before;
+  result.allocs = (after.slab_blocks - before.slab_blocks) +
+                  (after.queue_capacity - before.queue_capacity) +
+                  (after.heap_spills - before.heap_spills);
+  result.stats = after;
+  return result;
+}
+
+// --- 2. End-to-end workload shapes -----------------------------------------
+struct ShapeResult {
+  std::string name;
+  double wall_seconds = 0.0;
+  std::uint64_t sim_cycles = 0;
+  std::uint64_t engine_events = 0;
+  std::uint64_t acquires = 0;
+
+  double CyclesPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(sim_cycles) / wall_seconds : 0.0;
+  }
+  double EventsPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(engine_events) / wall_seconds : 0.0;
+  }
+};
+
+// fig16's phase-change scenario, ADAPTIVE lock (the heaviest event mix:
+// three inner lock models, futexes, epoch switching).
+ShapeResult RunFig16Shape(bool quick) {
+  const std::uint64_t phase_cycles = quick ? 14'000'000 : 28'000'000;
+  WorkloadConfig base;
+  base.threads = 10;
+  base.locks = 1;
+  WorkloadPhase low;
+  low.duration_cycles = phase_cycles;
+  low.cs_cycles = 250;
+  low.non_cs_cycles = 4000;
+  WorkloadPhase high;
+  high.duration_cycles = phase_cycles;
+  high.cs_cycles = 16000;
+  high.non_cs_cycles = 100;
+  const std::vector<WorkloadPhase> phases = {low, high, low, high};
+
+  const auto start = std::chrono::steady_clock::now();
+  const PhasedWorkloadResult r = RunPhasedLockWorkload("ADAPTIVE", base, phases);
+  ShapeResult shape;
+  shape.name = "fig16_adaptive";
+  shape.wall_seconds = WallSeconds(start);
+  shape.sim_cycles = 4 * phase_cycles;
+  shape.engine_events = r.engine_events;
+  shape.acquires = r.total_acquires;
+  return shape;
+}
+
+// fig13's oversubscribed system profiles under MUTEX (the futex-heavy
+// regime: sleeps, wakes, timeouts, scheduler quanta).
+ShapeResult RunFig13Shape(const std::string& system, bool quick) {
+  ShapeResult shape;
+  shape.name = "fig13_" + system;
+  for (SystemWorkload spec : PaperSystemWorkloads()) {
+    if (spec.system != system) {
+      continue;
+    }
+    if (quick) {
+      spec.workload.duration_cycles = 21'000'000;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const WorkloadResult r = RunLockWorkload("MUTEX", spec.workload);
+    shape.wall_seconds += WallSeconds(start);
+    shape.sim_cycles += spec.workload.duration_cycles;
+    shape.engine_events += r.engine_events;
+    shape.acquires += r.total_acquires;
+  }
+  return shape;
+}
+
+}  // namespace
+}  // namespace lockin
+
+int main(int argc, char** argv) {
+  using namespace lockin;
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+
+  // 40 chains ~ the benches' max simulated thread count.
+  const std::uint64_t target = options.quick ? 1'000'000 : 4'000'000;
+  const EngineBenchResult engine = RunEngineMicrobench(40, target);
+  const SteadyStateResult steady = RunSteadyStateCheck(40, target / 2);
+
+  std::vector<ShapeResult> shapes;
+  shapes.push_back(RunFig16Shape(options.quick));
+  shapes.push_back(RunFig13Shape("MySQL", options.quick));
+  shapes.push_back(RunFig13Shape("SQLite", options.quick));
+
+  double shape_wall = 0.0;
+  double shape_cycles = 0.0;
+  for (const ShapeResult& s : shapes) {
+    shape_wall += s.wall_seconds;
+    shape_cycles += static_cast<double>(s.sim_cycles);
+  }
+  const double workload_cycles_per_sec = shape_wall > 0 ? shape_cycles / shape_wall : 0.0;
+
+  TextTable engine_table({"bench", "events", "cancels", "wall_s", "Mevents/s"});
+  engine_table.AddRow({"engine_chains", std::to_string(engine.executed),
+                       std::to_string(engine.cancels), FormatDouble(engine.wall_seconds, 3),
+                       FormatDouble(engine.events_per_sec / 1e6, 2)});
+  EmitTable(engine_table, options, "Engine microbench (self-rescheduling chains + cancels)");
+
+  TextTable pool_table({"steady_events", "pool_allocs", "slabs", "slots", "heap_spills"});
+  pool_table.AddRow({std::to_string(steady.events), std::to_string(steady.allocs),
+                     std::to_string(steady.stats.slab_blocks),
+                     std::to_string(steady.stats.slot_capacity),
+                     std::to_string(steady.stats.heap_spills)});
+  EmitTable(pool_table, options,
+            "Steady-state pool check (pool_allocs must be 0: no allocator traffic per event)");
+
+  TextTable shape_table(
+      {"shape", "acquires", "events", "wall_s", "Mcycles/s", "Mevents/s"});
+  for (const ShapeResult& s : shapes) {
+    shape_table.AddRow({s.name, std::to_string(s.acquires), std::to_string(s.engine_events),
+                        FormatDouble(s.wall_seconds, 3),
+                        FormatDouble(s.CyclesPerSec() / 1e6, 1),
+                        FormatDouble(s.EventsPerSec() / 1e6, 2)});
+  }
+  EmitTable(shape_table, options, "End-to-end workload shapes (simulated cycles per wall-second)");
+
+  // Machine-readable trajectory record.
+  std::ofstream json("BENCH_sim.json");
+  json << "{\n"
+       << "  \"events_per_sec\": " << FormatDouble(engine.events_per_sec, 0) << ",\n"
+       << "  \"workload_sim_cycles_per_sec\": " << FormatDouble(workload_cycles_per_sec, 0)
+       << ",\n"
+       << "  \"engine_microbench_events\": " << engine.executed << ",\n"
+       << "  \"steady_state_pool_allocs\": " << steady.allocs << ",\n"
+       << "  \"quick\": " << (options.quick ? "true" : "false") << ",\n"
+       << "  \"shapes\": [\n";
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const ShapeResult& s = shapes[i];
+    json << "    {\"name\": \"" << s.name << "\", \"acquires\": " << s.acquires
+         << ", \"engine_events\": " << s.engine_events
+         << ", \"sim_cycles_per_sec\": " << FormatDouble(s.CyclesPerSec(), 0)
+         << ", \"events_per_sec\": " << FormatDouble(s.EventsPerSec(), 0) << "}"
+         << (i + 1 < shapes.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_sim.json\n";
+  return 0;
+}

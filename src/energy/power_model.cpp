@@ -34,23 +34,21 @@ const char* ActivityStateName(ActivityState state) {
   return "unknown";
 }
 
-namespace {
-
-bool IsContextActive(ActivityState state) {
-  switch (state) {
-    case ActivityState::kInactive:
-    case ActivityState::kSleeping:
-    case ActivityState::kDeepSleep:
-      return false;
-    default:
-      return true;
+PowerModel::PowerModel(Topology topology, PowerParams params)
+    : topology_(std::move(topology)), params_(params) {
+  for (int s = 0; s < kActivityStateCount; ++s) {
+    const auto state = static_cast<ActivityState>(s);
+    factor_lut_[s] = ActivityFactor(state);
+    active_lut_[s] = IsContextActive(state);
+  }
+  const auto& cpus = topology_.cpus();
+  core_key_lut_.reserve(cpus.size());
+  socket_lut_.reserve(cpus.size());
+  for (const CpuInfo& cpu : cpus) {
+    core_key_lut_.push_back(cpu.socket * topology_.cores_per_socket() + cpu.core);
+    socket_lut_.push_back(cpu.socket);
   }
 }
-
-}  // namespace
-
-PowerModel::PowerModel(Topology topology, PowerParams params)
-    : topology_(std::move(topology)), params_(params) {}
 
 double PowerModel::ActivityFactor(ActivityState state) const {
   switch (state) {
@@ -82,20 +80,20 @@ double PowerModel::ActivityFactor(ActivityState state) const {
   return 0.0;
 }
 
-PowerModel::Breakdown PowerModel::ComponentWatts(const std::vector<ActivityState>& states,
-                                                 const std::vector<VfSetting>& vf) const {
+// Shared implementation: `vf_of(ctx)` supplies the per-context VF request.
+// Both public entry points funnel here so they run the same arithmetic in
+// the same order (bit-identical results). Scratch buffers are thread-local
+// so the hot uniform-VF path allocates nothing after first use.
+template <typename VfOf>
+PowerModel::Breakdown PowerModel::ComputeWatts(const std::vector<ActivityState>& states,
+                                               const VfOf& vf_of) const {
+  // SimMachine recomputes on every context-state change, so this runs
+  // millions of times per bench: LUTs replace per-context switch dispatch
+  // and the scratch is thread-local, but the arithmetic (values and
+  // summation order) is unchanged from the reference formulation above.
   const int contexts = topology_.total_contexts();
-  const auto& cpus = topology_.cpus();
-
-  auto state_of = [&](int ctx) {
-    return ctx < static_cast<int>(states.size()) ? states[ctx] : ActivityState::kInactive;
-  };
-  auto vf_of = [&](int ctx) {
-    if (state_of(ctx) == ActivityState::kSpinDvfsMin) {
-      return VfSetting::kMin;
-    }
-    return ctx < static_cast<int>(vf.size()) ? vf[ctx] : VfSetting::kMax;
-  };
+  const int n = std::min(contexts, static_cast<int>(core_key_lut_.size()));
+  const int ns = static_cast<int>(states.size());
 
   // Hyper-threads of a core share the *higher* VF point (section 4.2), and
   // an inactive sibling counts as high: lowering one context's VF "will
@@ -103,21 +101,26 @@ PowerModel::Breakdown PowerModel::ComponentWatts(const std::vector<ActivityState
   // setting". A core runs at min VF only when every one of its contexts
   // requests min. Keyed by socket * cores_per_socket + core.
   const int cores_total = topology_.total_cores();
-  std::vector<int> active_contexts_on_core(cores_total, 0);
-  std::vector<VfSetting> core_vf(cores_total, VfSetting::kMin);
-  std::vector<bool> socket_active(topology_.sockets(), false);
+  static thread_local std::vector<int> active_contexts_on_core;
+  static thread_local std::vector<VfSetting> core_vf;
+  static thread_local std::vector<char> socket_active;
+  static thread_local std::vector<int> seen_on_core;
+  active_contexts_on_core.assign(cores_total, 0);
+  core_vf.assign(cores_total, VfSetting::kMin);
+  socket_active.assign(topology_.sockets(), 0);
+  seen_on_core.assign(cores_total, 0);
 
-  for (int ctx = 0; ctx < contexts && ctx < static_cast<int>(cpus.size()); ++ctx) {
-    const CpuInfo& cpu = cpus[ctx];
-    const int core_key = cpu.socket * topology_.cores_per_socket() + cpu.core;
-    if (vf_of(ctx) == VfSetting::kMax) {
+  for (int ctx = 0; ctx < n; ++ctx) {
+    const ActivityState state = ctx < ns ? states[ctx] : ActivityState::kInactive;
+    const int core_key = core_key_lut_[ctx];
+    if (vf_of(state, ctx) == VfSetting::kMax) {
       core_vf[core_key] = VfSetting::kMax;  // higher request (or idle) wins
     }
-    if (!IsContextActive(state_of(ctx))) {
+    if (!active_lut_[static_cast<int>(state)]) {
       continue;
     }
     active_contexts_on_core[core_key]++;
-    socket_active[cpu.socket] = true;
+    socket_active[socket_lut_[ctx]] = 1;
   }
 
   Breakdown result;
@@ -125,7 +128,7 @@ PowerModel::Breakdown PowerModel::ComponentWatts(const std::vector<ActivityState
   result.dram_w = params_.idle_dram_w;
 
   for (int socket = 0; socket < topology_.sockets(); ++socket) {
-    if (socket_active[socket]) {
+    if (socket_active[socket] != 0) {
       // Uncore activation at the socket's max VF among active cores.
       bool any_max = false;
       for (int core = 0; core < topology_.cores_per_socket(); ++core) {
@@ -134,42 +137,46 @@ PowerModel::Breakdown PowerModel::ComponentWatts(const std::vector<ActivityState
           any_max = true;
         }
       }
-      result.package_w += any_max ? params_.uncore_active_w_max : params_.uncore_active_w_min;
+      result.package_w += UncoreWatts(any_max);
     }
   }
 
-  // Per-context dynamic power. The first context of a core pays the core
-  // wake-up power; additional hyper-threads pay the (smaller) SMT power.
-  std::vector<int> seen_on_core(cores_total, 0);
-  for (int ctx = 0; ctx < contexts && ctx < static_cast<int>(cpus.size()); ++ctx) {
-    const CpuInfo& cpu = cpus[ctx];
-    const ActivityState state = state_of(ctx);
-    if (!IsContextActive(state)) {
-      if (state == ActivityState::kSleeping || state == ActivityState::kDeepSleep) {
-        result.package_w += params_.sleeping_thread_w;
-      }
+  // Per-context dynamic power (ContextWatts is the single source of the
+  // formula). The first active context of a core pays the core wake-up
+  // power; additional hyper-threads pay the (smaller) SMT power.
+  for (int ctx = 0; ctx < n; ++ctx) {
+    const ActivityState state = ctx < ns ? states[ctx] : ActivityState::kInactive;
+    if (!active_lut_[static_cast<int>(state)]) {
+      result.package_w += ContextWatts(state, VfSetting::kMax, false).package_w;
       continue;
     }
-    const int core_key = cpu.socket * topology_.cores_per_socket() + cpu.core;
-    const VfSetting effective_vf = core_vf[core_key];
+    const int core_key = core_key_lut_[ctx];
     const bool first_on_core = seen_on_core[core_key] == 0;
     seen_on_core[core_key]++;
 
-    const double base = first_on_core ? (effective_vf == VfSetting::kMax
-                                             ? params_.core_active_w_max
-                                             : params_.core_active_w_min)
-                                      : (effective_vf == VfSetting::kMax
-                                             ? params_.smt_active_w_max
-                                             : params_.smt_active_w_min);
-    const double dynamic = base * ActivityFactor(state);
-    result.cores_w += dynamic;
-    result.package_w += dynamic;
-    if (state == ActivityState::kWorking) {
-      result.dram_w += params_.dram_per_working_context_w;
-    }
+    const ContextPower power = ContextWatts(state, core_vf[core_key], first_on_core);
+    result.cores_w += power.cores_w;
+    result.package_w += power.package_w;
+    result.dram_w += power.dram_w;
   }
 
   return result;
+}
+
+PowerModel::Breakdown PowerModel::ComponentWatts(const std::vector<ActivityState>& states,
+                                                 const std::vector<VfSetting>& vf) const {
+  return ComputeWatts(states, [&](ActivityState state, int ctx) {
+    if (state == ActivityState::kSpinDvfsMin) {
+      return VfSetting::kMin;
+    }
+    return ctx < static_cast<int>(vf.size()) ? vf[ctx] : VfSetting::kMax;
+  });
+}
+
+PowerModel::Breakdown PowerModel::ComponentWattsUniform(
+    const std::vector<ActivityState>& states, VfSetting vf) const {
+  return ComputeWatts(states,
+                      [&](ActivityState state, int /*ctx*/) { return VfRequest(state, vf); });
 }
 
 double PowerModel::TotalWatts(const std::vector<ActivityState>& states,

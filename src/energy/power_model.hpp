@@ -36,6 +36,20 @@ enum class VfSetting {
   kMin,  // 1.2 GHz
 };
 
+// True when the state keeps its hardware context powered (anything but
+// inactive / sleeping / deep-sleep). Shared by the power model and the
+// simulator's incremental power accounting.
+inline bool IsContextActive(ActivityState state) {
+  switch (state) {
+    case ActivityState::kInactive:
+    case ActivityState::kSleeping:
+    case ActivityState::kDeepSleep:
+      return false;
+    default:
+      return true;
+  }
+}
+
 // Calibration constants; defaults reproduce the paper's Xeon (E5-2680 v2).
 struct PowerParams {
   double idle_package_w = 30.5;  // both sockets, all cores in idle states
@@ -105,14 +119,81 @@ class PowerModel {
   Breakdown ComponentWatts(const std::vector<ActivityState>& states,
                            const std::vector<VfSetting>& vf) const;
 
+  // Allocation-free fast path for the simulator: every context at the same
+  // VF point (kSpinDvfsMin still forces its context to min, as above).
+  // Bit-identical to ComponentWatts with a uniform vf vector -- both run
+  // the same arithmetic in the same order -- but reuses thread-local
+  // scratch instead of building per-call vectors, because SimMachine calls
+  // this on every context-state change.
+  Breakdown ComponentWattsUniform(const std::vector<ActivityState>& states,
+                                  VfSetting vf) const;
+
   // Dynamic activity factor for a state (0 for inactive/sleeping).
   double ActivityFactor(ActivityState state) const;
+
+  // A context's VF request: kSpinDvfsMin spins at min VF, everything else
+  // (active or idle) requests the global point. The core resolves to the
+  // higher request among its hyper-threads.
+  static VfSetting VfRequest(ActivityState state, VfSetting global) {
+    return state == ActivityState::kSpinDvfsMin ? VfSetting::kMin : global;
+  }
+
+  // One context's power contribution given its core's resolved VF point
+  // and whether it is the core's first active context (which pays the core
+  // wake-up power; later siblings pay the SMT power). The single source of
+  // truth for the per-context formula -- used by the full recompute below
+  // and by SimMachine's incremental per-core accounting.
+  struct ContextPower {
+    double package_w = 0;
+    double cores_w = 0;
+    double dram_w = 0;
+  };
+  ContextPower ContextWatts(ActivityState state, VfSetting core_vf,
+                            bool first_active_on_core) const {
+    ContextPower power;
+    if (!IsContextActive(state)) {
+      if (state == ActivityState::kSleeping || state == ActivityState::kDeepSleep) {
+        power.package_w = params_.sleeping_thread_w;
+      }
+      return power;
+    }
+    const double base =
+        first_active_on_core
+            ? (core_vf == VfSetting::kMax ? params_.core_active_w_max
+                                          : params_.core_active_w_min)
+            : (core_vf == VfSetting::kMax ? params_.smt_active_w_max
+                                          : params_.smt_active_w_min);
+    const double dynamic = base * factor_lut_[static_cast<int>(state)];
+    power.package_w = dynamic;
+    power.cores_w = dynamic;
+    if (state == ActivityState::kWorking) {
+      power.dram_w = params_.dram_per_working_context_w;
+    }
+    return power;
+  }
+
+  // Uncore activation watts for a socket with >= 1 active core, at the max
+  // or min VF tier depending on whether any active core runs at max.
+  double UncoreWatts(bool any_core_at_max_vf) const {
+    return any_core_at_max_vf ? params_.uncore_active_w_max : params_.uncore_active_w_min;
+  }
 
   double IdleWatts() const { return params_.idle_package_w + params_.idle_dram_w; }
 
  private:
+  template <typename VfOf>
+  Breakdown ComputeWatts(const std::vector<ActivityState>& states, const VfOf& vf_of) const;
+
   Topology topology_;
   PowerParams params_;
+  // Hot-path lookup tables (built once in the constructor): the per-state
+  // activity factor / active flag (same values ActivityFactor() returns)
+  // and each context's socket * cores_per_socket + core key, so the watts
+  // loops do no switch dispatch or CpuInfo chasing per context.
+  double factor_lut_[kActivityStateCount];
+  bool active_lut_[kActivityStateCount];
+  std::vector<int> core_key_lut_;
+  std::vector<int> socket_lut_;
 };
 
 }  // namespace lockin

@@ -1,39 +1,144 @@
 #include "src/sim/engine.hpp"
 
+#include <cassert>
 #include <utility>
 
 namespace lockin {
 
-EventId SimEngine::Schedule(SimTime delay, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Event{now_ + delay, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+std::uint32_t SimEngine::AllocSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t index = free_head_;
+    EventSlot& slot = SlotAt(index);
+    free_head_ = slot.next_free;
+    slot.next_free = kNoFreeSlot;
+    return index;
+  }
+  const std::uint32_t base = static_cast<std::uint32_t>(slabs_.size()) * kSlabSize;
+  assert(base + kSlabSize - 1 <= kSlotMask && "event slot space exhausted");
+  slabs_.push_back(std::make_unique<EventSlot[]>(kSlabSize));
+  // Chain all but the first new slot onto the free list; hand out the first.
+  for (std::uint32_t i = kSlabSize - 1; i >= 1; --i) {
+    EventSlot& slot = SlotAt(base + i);
+    slot.next_free = free_head_;
+    free_head_ = base + i;
+  }
+  return base;
+}
+
+void SimEngine::FreeSlot(std::uint32_t index) {
+  EventSlot& slot = SlotAt(index);
+  slot.fn.reset();
+  slot.state = SlotState::kFree;
+  ++slot.generation;  // invalidates every outstanding handle to this slot
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void SimEngine::HeapPush(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!entry.Before(heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void SimEngine::HeapPopTop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    std::size_t best = first_child;
+    const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (heap_[c].Before(heap_[best])) {
+        best = c;
+      }
+    }
+    if (!heap_[best].Before(last)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+EventId SimEngine::Schedule(SimTime delay, SimCallback fn) {
+  const std::uint32_t index = AllocSlot();
+  EventSlot& slot = SlotAt(index);
+  if (fn.heap_allocated()) {
+    ++heap_spills_;
+  }
+  slot.fn = std::move(fn);
+  slot.state = SlotState::kPending;
+  HeapPush(HeapEntry{now_ + delay, (next_seq_++ << kSlotBits) | index});
+  ++live_;
+  return (slot.generation << kSlotBits) | index;
 }
 
 void SimEngine::Cancel(EventId id) {
-  // Erasing from the live set is the whole cancellation: the queue entry
-  // becomes a tombstone dropped when the clock reaches it. An id that
-  // already ran (or a stale handle) is absent, so the call is a no-op --
-  // nothing grows without bound over a long simulation.
-  live_.erase(id);
+  const std::uint32_t index = static_cast<std::uint32_t>(id & kSlotMask);
+  if (index >= slabs_.size() * kSlabSize) {
+    return;  // never-issued handle
+  }
+  EventSlot& slot = SlotAt(index);
+  if (slot.generation != (id >> kSlotBits) || slot.state != SlotState::kPending) {
+    return;  // already ran (slot recycled), already cancelled, or stale
+  }
+  // Tombstone: the heap entry stays queued and is dropped when the clock
+  // reaches it; the callback's resources are released right away.
+  slot.state = SlotState::kCancelled;
+  slot.fn.reset();
+  --live_;
+  ++tombstones_;
+}
+
+bool SimEngine::PopNext(SimTime until, SimCallback& fn) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    const std::uint32_t index = static_cast<std::uint32_t>(top.order & kSlotMask);
+    EventSlot& slot = SlotAt(index);
+    if (slot.state == SlotState::kCancelled) {
+      // Tombstones are reclaimed regardless of `until`: they carry no
+      // callback, so draining them never runs simulation logic early.
+      HeapPopTop();
+      FreeSlot(index);
+      --tombstones_;
+      continue;
+    }
+    if (top.time > until) {
+      return false;
+    }
+    HeapPopTop();
+    now_ = top.time;
+    fn = std::move(slot.fn);
+    FreeSlot(index);  // slot reusable before the callback runs
+    --live_;
+    return true;
+  }
+  return false;
 }
 
 void SimEngine::RunUntil(SimTime until) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.time > until) {
-      break;
-    }
-    if (live_.erase(top.id) == 0) {
-      queue_.pop();  // cancellation tombstone
-      continue;
-    }
-    Event event = top;  // copy out before pop invalidates the reference
-    queue_.pop();
-    now_ = event.time;
+  SimCallback fn;
+  while (PopNext(until, fn)) {
     ++executed_;
-    event.fn();
+    fn();
+    fn.reset();
   }
   if (now_ < until) {
     now_ = until;
@@ -41,18 +146,23 @@ void SimEngine::RunUntil(SimTime until) {
 }
 
 void SimEngine::RunAll() {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (live_.erase(top.id) == 0) {
-      queue_.pop();
-      continue;
-    }
-    Event event = top;
-    queue_.pop();
-    now_ = event.time;
+  SimCallback fn;
+  while (PopNext(~0ULL, fn)) {
     ++executed_;
-    event.fn();
+    fn();
+    fn.reset();
   }
+}
+
+SimEngine::PoolStats SimEngine::pool_stats() const {
+  PoolStats stats;
+  stats.slab_blocks = slabs_.size();
+  stats.slot_capacity = slabs_.size() * kSlabSize;
+  stats.queue_capacity = heap_.capacity();
+  stats.heap_spills = heap_spills_;
+  stats.live_events = live_;
+  stats.tombstones = tombstones_;
+  return stats;
 }
 
 }  // namespace lockin

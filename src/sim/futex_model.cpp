@@ -36,8 +36,7 @@ std::uint64_t SimFutex::TurnaroundTail(SimTime slept_at) {
   return tail;
 }
 
-void SimFutex::Sleep(int tid, std::uint64_t timeout_cycles,
-                     std::function<void(WakeReason)> on_wake) {
+void SimFutex::Sleep(int tid, std::uint64_t timeout_cycles, WakeCallback on_wake) {
   stats_.sleep_calls++;
   const SimParams& p = machine_->params();
   const std::uint64_t kernel_cycles =
@@ -89,13 +88,13 @@ void SimFutex::DeliverWake(Sleeper sleeper, WakeReason reason, std::uint64_t ext
   }
   const std::uint64_t tail = TurnaroundTail(sleeper.slept_at) + extra_delay;
   const int tid = sleeper.tid;
-  machine_->NotifyWhenRunning(tid, [on_wake = std::move(sleeper.on_wake), reason] {
+  machine_->NotifyWhenRunning(tid, [on_wake = std::move(sleeper.on_wake), reason]() mutable {
     on_wake(reason);
   });
   machine_->Unblock(tid, tail);
 }
 
-void SimFutex::Wake(int tid, int count, std::function<void()> on_done) {
+void SimFutex::Wake(int tid, int count, SimCallback on_done) {
   stats_.wake_calls++;
   const SimParams& p = machine_->params();
   // A wake means the futex word changed in user space: every sleeper still
@@ -106,19 +105,21 @@ void SimFutex::Wake(int tid, int count, std::function<void()> on_done) {
   }
   const std::uint64_t kernel_cycles =
       BucketDelay(p.futex_wake_bucket_cycles) + p.futex_wake_call_cycles;
-  machine_->RunFor(
-      tid, kernel_cycles, ActivityState::kKernel,
-      [this, count, on_done = std::move(on_done)]() mutable {
-        int remaining = count;
-        while (remaining > 0 && !sleepers_.empty()) {
-          Sleeper sleeper = std::move(sleepers_.front());
-          sleepers_.pop_front();
-          stats_.threads_woken++;
-          DeliverWake(std::move(sleeper), WakeReason::kSignalled);
-          --remaining;
-        }
-        on_done();
-      });
+  // One wake call in flight per tid by construction (the waker is running
+  // it), so the continuation parks in the tid's slot.
+  wake_done_.Put(tid, std::move(on_done));
+  machine_->RunFor(tid, kernel_cycles, ActivityState::kKernel, [this, tid, count] {
+    int remaining = count;
+    while (remaining > 0 && !sleepers_.empty()) {
+      Sleeper sleeper = std::move(sleepers_.front());
+      sleepers_.pop_front();
+      stats_.threads_woken++;
+      DeliverWake(std::move(sleeper), WakeReason::kSignalled);
+      --remaining;
+    }
+    SimCallback done = wake_done_.Take(tid);
+    done();
+  });
 }
 
 }  // namespace lockin

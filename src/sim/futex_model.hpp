@@ -22,9 +22,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "src/platform/rng.hpp"
+#include "src/sim/callback.hpp"
 #include "src/sim/machine.hpp"
 
 namespace lockin {
@@ -34,18 +34,21 @@ class SimFutex {
   // Why a woken sleeper resumed.
   enum class WakeReason { kSignalled, kTimedOut, kSleepMiss };
 
+  // Wake continuations ride inside engine-event closures, so they are
+  // deliberately smaller than SimCallback (see callback.hpp).
+  using WakeCallback = InlineFunction<void(WakeReason), 64>;
+
   explicit SimFutex(SimMachine* machine, std::uint64_t seed = 17);
 
   // The calling thread (must be running) sleeps on this futex. The sequence
   // is: kernel entry (bucket queueing + sleep-call cycles), block, and
   // later `on_wake(reason)` once the thread is *running* again.
   // timeout_cycles == 0 means no timeout.
-  void Sleep(int tid, std::uint64_t timeout_cycles,
-             std::function<void(WakeReason)> on_wake);
+  void Sleep(int tid, std::uint64_t timeout_cycles, WakeCallback on_wake);
 
   // The calling thread wakes up to `count` sleepers; `on_done` fires when
   // the wake call returns (it is on the waker's critical path).
-  void Wake(int tid, int count, std::function<void()> on_done);
+  void Wake(int tid, int count, SimCallback on_done);
 
   // Sleepers currently blocked (not counting ones still entering the kernel).
   int sleeper_count() const { return static_cast<int>(sleepers_.size()); }
@@ -69,7 +72,7 @@ class SimFutex {
     int tid;
     SimTime slept_at;
     EventId timeout_event;
-    std::function<void(SimFutex::WakeReason)> on_wake;
+    WakeCallback on_wake;
   };
 
   // Kernel hash-bucket lock: returns the queueing delay for an operation
@@ -89,6 +92,9 @@ class SimFutex {
   // schedulers never exhibit.
   Xoshiro256 jitter_rng_;
   std::deque<Sleeper> sleepers_;
+  // Per-tid continuation for an in-flight Wake call (the on_done must not
+  // ride inside the kernel-entry closure -- see callback.hpp).
+  SlotVector<SimCallback> wake_done_;
   int entering_ = 0;
   // Wakes that arrived while the target was still entering the kernel.
   int pending_misses_ = 0;

@@ -11,20 +11,141 @@ SimMachine::SimMachine(SimEngine* engine, Topology topology, PowerParams power_p
       power_model_(std::move(topology), power_params),
       params_(sim_params),
       contexts_(power_model_.topology().total_contexts()),
-      ctx_states_(power_model_.topology().total_contexts(), ActivityState::kInactive) {}
+      ctx_states_(power_model_.topology().total_contexts(), ActivityState::kInactive) {
+  const Topology& topo = power_model_.topology();
+  core_ctxs_.resize(topo.total_cores());
+  core_key_of_ctx_.reserve(topo.cpus().size());
+  socket_of_ctx_.reserve(topo.cpus().size());
+  for (std::size_t ctx = 0; ctx < topo.cpus().size(); ++ctx) {
+    const CpuInfo& cpu = topo.cpus()[ctx];
+    const int core_key = cpu.socket * topo.cores_per_socket() + cpu.core;
+    core_key_of_ctx_.push_back(core_key);
+    socket_of_ctx_.push_back(cpu.socket);
+    core_ctxs_[core_key].push_back(static_cast<int>(ctx));  // ascending ctx order
+  }
+  RebuildPowerCache();
+}
+
+SimMachine::CoreTerms SimMachine::ComputeCoreTerms(int core_key) const {
+  CoreTerms terms;
+  // Hyper-threads of a core share the *higher* VF point: the core runs at
+  // min VF only when every one of its contexts requests min (an inactive
+  // sibling requests the global point).
+  bool any_max_request = false;
+  for (const int ctx : core_ctxs_[core_key]) {
+    if (PowerModel::VfRequest(ctx_states_[ctx], vf_) == VfSetting::kMax) {
+      any_max_request = true;
+    }
+  }
+  const VfSetting core_vf = any_max_request ? VfSetting::kMax : VfSetting::kMin;
+
+  // The first active context (lowest ctx index, matching the power model's
+  // iteration order) pays the core wake-up power, later ones the SMT power.
+  // ContextWatts is the power model's own per-context formula.
+  bool first = true;
+  for (const int ctx : core_ctxs_[core_key]) {
+    const ActivityState state = ctx_states_[ctx];
+    const bool active = IsContextActive(state);
+    const PowerModel::ContextPower power =
+        power_model_.ContextWatts(state, core_vf, active && first);
+    if (active) {
+      first = false;
+      terms.active = true;
+    }
+    terms.package += power.package_w;
+    terms.cores += power.cores_w;
+    terms.dram += power.dram_w;
+  }
+  terms.at_max_vf = terms.active && core_vf == VfSetting::kMax;
+  return terms;
+}
+
+double SimMachine::UncoreTerm(int socket) const {
+  if (socket_active_cores_[socket] == 0) {
+    return 0.0;
+  }
+  return power_model_.UncoreWatts(socket_max_vf_cores_[socket] > 0);
+}
+
+void SimMachine::RebuildPowerCache() {
+  const Topology& topo = power_model_.topology();
+  const PowerParams& p = power_model_.params();
+  core_terms_.assign(core_ctxs_.size(), CoreTerms{});
+  socket_active_cores_.assign(topo.sockets(), 0);
+  socket_max_vf_cores_.assign(topo.sockets(), 0);
+  socket_uncore_.assign(topo.sockets(), 0.0);
+  state_counts_.assign(kActivityStateCount, 0);
+  for (const ActivityState state : ctx_states_) {
+    state_counts_[static_cast<std::size_t>(state)]++;
+  }
+
+  watts_ = PowerModel::Breakdown{};
+  watts_.package_w = p.idle_package_w;
+  watts_.dram_w = p.idle_dram_w;
+  for (std::size_t core = 0; core < core_ctxs_.size(); ++core) {
+    const CoreTerms terms = ComputeCoreTerms(static_cast<int>(core));
+    core_terms_[core] = terms;
+    if (terms.active) {
+      const int socket = socket_of_ctx_[core_ctxs_[core].front()];
+      socket_active_cores_[socket]++;
+      if (terms.at_max_vf) {
+        socket_max_vf_cores_[socket]++;
+      }
+    }
+    watts_.package_w += terms.package;
+    watts_.cores_w += terms.cores;
+    watts_.dram_w += terms.dram;
+  }
+  for (int socket = 0; socket < topo.sockets(); ++socket) {
+    socket_uncore_[socket] = UncoreTerm(socket);
+    watts_.package_w += socket_uncore_[socket];
+  }
+}
+
+void SimMachine::ApplyContextChange(int ctx, ActivityState new_state) {
+  state_counts_[static_cast<std::size_t>(ctx_states_[ctx])]--;
+  state_counts_[static_cast<std::size_t>(new_state)]++;
+  ctx_states_[ctx] = new_state;
+
+  const int core_key = core_key_of_ctx_[ctx];
+  const int socket = socket_of_ctx_[ctx];
+  const CoreTerms before = core_terms_[core_key];
+  const CoreTerms after = ComputeCoreTerms(core_key);
+  core_terms_[core_key] = after;
+  watts_.package_w += after.package - before.package;
+  watts_.cores_w += after.cores - before.cores;
+  watts_.dram_w += after.dram - before.dram;
+
+  if (before.active != after.active || before.at_max_vf != after.at_max_vf) {
+    socket_active_cores_[socket] += (after.active ? 1 : 0) - (before.active ? 1 : 0);
+    socket_max_vf_cores_[socket] += (after.at_max_vf ? 1 : 0) - (before.at_max_vf ? 1 : 0);
+    const double uncore = UncoreTerm(socket);
+    watts_.package_w += uncore - socket_uncore_[socket];
+    socket_uncore_[socket] = uncore;
+  }
+}
+
+double SimMachine::PowerCacheDriftForTest() const {
+  const PowerModel::Breakdown full = power_model_.ComponentWattsUniform(ctx_states_, vf_);
+  const double dp = watts_.package_w - full.package_w;
+  const double dc = watts_.cores_w - full.cores_w;
+  const double dd = watts_.dram_w - full.dram_w;
+  double drift = dp < 0 ? -dp : dp;
+  drift = dc < 0 ? (drift < -dc ? -dc : drift) : (drift < dc ? dc : drift);
+  drift = dd < 0 ? (drift < -dd ? -dd : drift) : (drift < dd ? dd : drift);
+  return drift;
+}
 
 void SimMachine::AccumulateEnergy() {
   const SimTime now = engine_->now();
   if (now > last_energy_time_) {
-    const double dt =
-        static_cast<double>(now - last_energy_time_) / params_.cycles_per_second;
-    const std::vector<VfSetting> vf(ctx_states_.size(), vf_);
-    const PowerModel::Breakdown watts = power_model_.ComponentWatts(ctx_states_, vf);
-    energy_.package_joules += watts.package_w * dt;
-    energy_.dram_joules += watts.dram_w * dt;
+    const std::uint64_t dcycles = now - last_energy_time_;
+    const double dt = static_cast<double>(dcycles) / params_.cycles_per_second;
+    energy_.package_joules += watts_.package_w * dt;
+    energy_.dram_joules += watts_.dram_w * dt;
     energy_.seconds += dt;
-    for (const ActivityState state : ctx_states_) {
-      state_seconds_[static_cast<std::size_t>(state)] += dt;
+    for (int s = 0; s < kActivityStateCount; ++s) {
+      state_cycles_[static_cast<std::size_t>(s)] += dcycles * state_counts_[static_cast<std::size_t>(s)];
     }
   }
   last_energy_time_ = now;
@@ -33,7 +154,7 @@ void SimMachine::AccumulateEnergy() {
 void SimMachine::SetContextState(int ctx, ActivityState state) {
   if (ctx_states_[ctx] != state) {
     AccumulateEnergy();
-    ctx_states_[ctx] = state;
+    ApplyContextChange(ctx, state);
   }
 }
 
@@ -91,7 +212,7 @@ void SimMachine::Place(int tid, int ctx) {
   // Fire scheduling waiters (FIFO lock handovers, etc.) before resuming
   // work: a pending handover may cancel the spin work.
   if (!t.on_running.empty()) {
-    std::vector<std::function<void()>> callbacks;
+    std::vector<SimCallback> callbacks;
     callbacks.swap(t.on_running);
     for (auto& fn : callbacks) {
       fn();
@@ -177,8 +298,7 @@ void SimMachine::ResumeWork(int tid) {
     thread.work_event = 0;
     thread.has_work = false;
     thread.remaining = 0;
-    std::function<void()> done;
-    done.swap(thread.done);
+    SimCallback done = std::move(thread.done);
     if (done) {
       done();
     }
@@ -186,7 +306,7 @@ void SimMachine::ResumeWork(int tid) {
 }
 
 void SimMachine::RunFor(int tid, std::uint64_t cycles, ActivityState activity,
-                        std::function<void()> done) {
+                        SimCallback done) {
   Thread& t = threads_[tid];
   assert(!t.has_work && "RunFor while work pending");
   t.has_work = true;
@@ -210,7 +330,7 @@ void SimMachine::CancelWork(int tid) {
   }
   t.has_work = false;
   t.remaining = 0;
-  t.done = nullptr;
+  t.done.reset();
 }
 
 void SimMachine::SetActivity(int tid, ActivityState activity) {
@@ -243,7 +363,7 @@ void SimMachine::Unblock(int tid, std::uint64_t delay) {
   });
 }
 
-void SimMachine::NotifyWhenRunning(int tid, std::function<void()> fn) {
+void SimMachine::NotifyWhenRunning(int tid, SimCallback fn) {
   Thread& t = threads_[tid];
   if (t.state == ThreadState::kRunning) {
     fn();
@@ -264,23 +384,28 @@ void SimMachine::ResetEnergy() {
 
 std::vector<double> SimMachine::StateSeconds() {
   AccumulateEnergy();
-  return state_seconds_;
+  std::vector<double> seconds(kActivityStateCount, 0.0);
+  for (int i = 0; i < kActivityStateCount; ++i) {
+    seconds[static_cast<std::size_t>(i)] =
+        static_cast<double>(state_cycles_[static_cast<std::size_t>(i)]) /
+        params_.cycles_per_second;
+  }
+  return seconds;
 }
 
 double SimMachine::ActiveShare(ActivityState state) {
   AccumulateEnergy();
-  double active = 0.0;
+  std::uint64_t active = 0;
   for (int i = 0; i < kActivityStateCount; ++i) {
-    const auto s = static_cast<ActivityState>(i);
-    if (s != ActivityState::kInactive && s != ActivityState::kSleeping &&
-        s != ActivityState::kDeepSleep) {
-      active += state_seconds_[static_cast<std::size_t>(i)];
+    if (IsContextActive(static_cast<ActivityState>(i))) {
+      active += state_cycles_[static_cast<std::size_t>(i)];
     }
   }
-  if (active <= 0.0) {
+  if (active == 0) {
     return 0.0;
   }
-  return state_seconds_[static_cast<std::size_t>(state)] / active;
+  return static_cast<double>(state_cycles_[static_cast<std::size_t>(state)]) /
+         static_cast<double>(active);
 }
 
 int SimMachine::ActiveContexts() const {

@@ -49,7 +49,7 @@ std::uint64_t SimSpinLock::ReleaseCost() const {
   return 0;
 }
 
-void SimSpinLock::Acquire(int tid, std::function<void()> on_acquired) {
+void SimSpinLock::Acquire(int tid, SimCallback on_acquired) {
   if (!held_ && waiters_.empty()) {
     held_ = true;
     stats_.acquires++;
@@ -58,35 +58,32 @@ void SimSpinLock::Acquire(int tid, std::function<void()> on_acquired) {
                      std::move(on_acquired));
     return;
   }
-  waiters_.push_back(Waiter{tid, std::move(on_acquired)});
+  pending_.Put(tid, std::move(on_acquired));
+  waiters_.push_back(tid);
   machine_->RunFor(tid, SimMachine::kInfiniteWork, config_.spin_state, nullptr);
 }
 
-void SimSpinLock::FinalizeGrant(Waiter waiter) {
-  machine_->CancelWork(waiter.tid);
+void SimSpinLock::FinalizeGrant(int tid) {
+  machine_->CancelWork(tid);
   stats_.acquires++;
   stats_.spin_handovers++;
-  waiter.on_acquired();
+  SimCallback cb = pending_.Take(tid);
+  cb();
 }
 
-void SimSpinLock::GrantTo(Waiter waiter, std::uint64_t delay) {
-  const std::uint64_t epoch = ++grant_epoch_;
-  machine_->engine().Schedule(delay, [this, waiter = std::move(waiter), epoch]() mutable {
-    (void)epoch;
-    if (machine_->IsRunning(waiter.tid)) {
-      FinalizeGrant(std::move(waiter));
+void SimSpinLock::GrantTo(int tid, std::uint64_t delay) {
+  machine_->engine().Schedule(delay, [this, tid] {
+    if (machine_->IsRunning(tid)) {
+      FinalizeGrant(tid);
       return;
     }
     // The chosen waiter is descheduled: the handover stalls until the
     // scheduler puts it back on a context (the FIFO convoy of Figure 11).
-    const int tid = waiter.tid;
-    machine_->NotifyWhenRunning(tid, [this, waiter = std::move(waiter)]() mutable {
-      FinalizeGrant(std::move(waiter));
-    });
+    machine_->NotifyWhenRunning(tid, [this, tid] { FinalizeGrant(tid); });
   });
 }
 
-void SimSpinLock::Release(int tid, std::function<void()> on_released) {
+void SimSpinLock::Release(int tid, SimCallback on_released) {
   assert(held_);
   const std::uint64_t release_cost = ReleaseCost();
   if (waiters_.empty()) {
@@ -104,20 +101,20 @@ void SimSpinLock::Release(int tid, std::function<void()> on_released) {
   if (config_.discipline == SimSpinLockConfig::Discipline::kRandom) {
     // Barging: only a waiter that is on a context can win the race. Prefer a
     // random running waiter; fall back to FIFO when all are descheduled.
-    std::vector<std::size_t> running;
+    running_scratch_.clear();
     for (std::size_t i = 0; i < waiters_.size(); ++i) {
-      if (machine_->IsRunning(waiters_[i].tid)) {
-        running.push_back(i);
+      if (machine_->IsRunning(waiters_[i])) {
+        running_scratch_.push_back(i);
       }
     }
-    if (!running.empty()) {
-      index = running[rng_.NextBelow(running.size())];
+    if (!running_scratch_.empty()) {
+      index = running_scratch_[rng_.NextBelow(running_scratch_.size())];
     }
   }
-  Waiter next = std::move(waiters_[index]);
+  const int next = waiters_[index];
   waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(index));
   // held_ stays true: ownership passes directly.
-  GrantTo(std::move(next), HandoverDelay());
+  GrantTo(next, HandoverDelay());
 
   if (release_cost > 0) {
     machine_->RunFor(tid, release_cost, config_.spin_state, std::move(on_released));
@@ -136,16 +133,16 @@ SimFutexMutex::SimFutexMutex(SimMachine* machine, SimFutexMutexConfig config)
 // Spinners race with CAS: the winner is effectively random among the ones
 // currently on a hardware context. Returns -1 when none qualifies.
 int SimFutexMutex::PopRandomRunningSpinner() {
-  std::vector<std::size_t> running;
+  running_scratch_.clear();
   for (std::size_t i = 0; i < spinners_.size(); ++i) {
     if (machine_->IsRunning(spinners_[i])) {
-      running.push_back(i);
+      running_scratch_.push_back(i);
     }
   }
-  if (running.empty()) {
+  if (running_scratch_.empty()) {
     return -1;
   }
-  const std::size_t index = running[rng_.NextBelow(running.size())];
+  const std::size_t index = running_scratch_[rng_.NextBelow(running_scratch_.size())];
   const int tid = spinners_[index];
   spinners_.erase(spinners_.begin() + static_cast<std::ptrdiff_t>(index));
   return tid;
@@ -159,14 +156,12 @@ void SimFutexMutex::TakeOwnership(int tid, bool via_futex) {
   } else {
     stats_.spin_handovers++;
   }
-  auto it = pending_.find(tid);
-  assert(it != pending_.end());
-  std::function<void()> cb = std::move(it->second);
-  pending_.erase(it);
+  assert(pending_.Has(tid));
+  SimCallback cb = pending_.Take(tid);
   cb();
 }
 
-void SimFutexMutex::Acquire(int tid, std::function<void()> on_acquired) {
+void SimFutexMutex::Acquire(int tid, SimCallback on_acquired) {
   if (!held_) {
     // Barging: arrivals take a free lock immediately, even past sleepers.
     held_ = true;
@@ -176,7 +171,7 @@ void SimFutexMutex::Acquire(int tid, std::function<void()> on_acquired) {
                      std::move(on_acquired));
     return;
   }
-  pending_[tid] = std::move(on_acquired);
+  pending_.Put(tid, std::move(on_acquired));
   spinners_.push_back(tid);
   machine_->RunFor(tid, config_.spin_cycles, config_.spin_state, [this, tid] {
     // Spin budget exhausted: go to sleep.
@@ -240,7 +235,7 @@ void SimFutexMutex::TryGrantToSpinner() {
   TakeOwnership(tid, /*via_futex=*/false);
 }
 
-void SimFutexMutex::Release(int tid, std::function<void()> on_released) {
+void SimFutexMutex::Release(int tid, SimCallback on_released) {
   assert(held_);
   held_ = false;
   const bool have_sleepers = futex_.sleeper_count() > 0 || futex_.entering_count() > 0;
@@ -270,16 +265,16 @@ SimMutexee::SimMutexee(SimMachine* machine, SimMutexeeConfig config)
     : SimLock(machine), config_(std::move(config)), futex_(machine), rng_(config_.rng_seed) {}
 
 int SimMutexee::PopRandomRunningSpinner() {
-  std::vector<std::size_t> running;
+  running_scratch_.clear();
   for (std::size_t i = 0; i < spinners_.size(); ++i) {
     if (machine_->IsRunning(spinners_[i])) {
-      running.push_back(i);
+      running_scratch_.push_back(i);
     }
   }
-  if (running.empty()) {
+  if (running_scratch_.empty()) {
     return -1;
   }
-  const std::size_t index = running[rng_.NextBelow(running.size())];
+  const std::size_t index = running_scratch_[rng_.NextBelow(running_scratch_.size())];
   const int tid = spinners_[index];
   spinners_.erase(spinners_.begin() + static_cast<std::ptrdiff_t>(index));
   return tid;
@@ -315,14 +310,12 @@ void SimMutexee::TakeOwnership(int tid, int kind) {
       break;
   }
   RecordWindow(kind == 1);
-  auto it = pending_.find(tid);
-  assert(it != pending_.end());
-  std::function<void()> cb = std::move(it->second);
-  pending_.erase(it);
+  assert(pending_.Has(tid));
+  SimCallback cb = pending_.Take(tid);
   cb();
 }
 
-void SimMutexee::Acquire(int tid, std::function<void()> on_acquired) {
+void SimMutexee::Acquire(int tid, SimCallback on_acquired) {
   if (!held_) {
     held_ = true;
     stats_.acquires++;
@@ -332,7 +325,7 @@ void SimMutexee::Acquire(int tid, std::function<void()> on_acquired) {
                      std::move(on_acquired));
     return;
   }
-  pending_[tid] = std::move(on_acquired);
+  pending_.Put(tid, std::move(on_acquired));
   spinners_.push_back(tid);
   const std::uint64_t budget = mode_ == MutexeeLock::Mode::kSpin
                                    ? config_.base.spin_mode_lock_cycles
@@ -390,7 +383,7 @@ void SimMutexee::BecomePersistentSpinner(int tid) {
   machine_->RunFor(tid, SimMachine::kInfiniteWork, ActivityState::kSpinMbar, nullptr);
 }
 
-void SimMutexee::Release(int tid, std::function<void()> on_released) {
+void SimMutexee::Release(int tid, SimCallback on_released) {
   assert(held_);
   // User-space handover: the defining MUTEXEE fast path. The spinners race
   // with CAS, so the recipient is a random *running* spinner. No futex
@@ -420,19 +413,22 @@ void SimMutexee::Release(int tid, std::function<void()> on_released) {
     return;
   }
   // Grace window: wait ~the maximum coherence latency in user space; if an
-  // arriving thread takes the lock meanwhile, skip the wake entirely.
+  // arriving thread takes the lock meanwhile, skip the wake entirely. The
+  // continuation parks in the releaser's slot (one release in flight per
+  // tid) so the grace closure stays thin.
   const std::uint64_t grace = mode_ == MutexeeLock::Mode::kSpin
                                   ? config_.base.spin_mode_grace_cycles
                                   : config_.base.mutex_mode_grace_cycles;
-  machine_->RunFor(tid, grace, ActivityState::kSpinMbar,
-                   [this, tid, on_released = std::move(on_released)]() mutable {
-                     if (held_) {
-                       stats_.wake_skips++;
-                       on_released();
-                       return;
-                     }
-                     futex_.Wake(tid, 1, std::move(on_released));
-                   });
+  release_cont_.Put(tid, std::move(on_released));
+  machine_->RunFor(tid, grace, ActivityState::kSpinMbar, [this, tid] {
+    SimCallback done = release_cont_.Take(tid);
+    if (held_) {
+      stats_.wake_skips++;
+      done();
+      return;
+    }
+    futex_.Wake(tid, 1, std::move(done));
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -464,19 +460,22 @@ std::uint64_t SimAdaptiveLock::InnerSleepCalls() const {
   return sleeps;
 }
 
-void SimAdaptiveLock::IssueAcquire(AdaptiveBackend b, int tid,
-                                   std::function<void()> on_acquired,
-                                   SimTime requested_at) {
-  ++outstanding_;
-  Inner(b).Acquire(tid, [this, requested_at, cb = std::move(on_acquired)]() mutable {
-    const SimTime now = machine_->engine().now();
-    pending_wait_cycles_ = now - requested_at;
-    holder_granted_at_ = now;
-    cb();
-  });
+void SimAdaptiveLock::OnInnerAcquired(int tid, SimTime requested_at) {
+  const SimTime now = machine_->engine().now();
+  pending_wait_cycles_ = now - requested_at;
+  holder_granted_at_ = now;
+  SimCallback cb = acquire_cont_.Take(tid);
+  cb();
 }
 
-void SimAdaptiveLock::Acquire(int tid, std::function<void()> on_acquired) {
+void SimAdaptiveLock::IssueAcquire(AdaptiveBackend b, int tid, SimCallback on_acquired,
+                                   SimTime requested_at) {
+  ++outstanding_;
+  acquire_cont_.Put(tid, std::move(on_acquired));
+  Inner(b).Acquire(tid, [this, tid, requested_at] { OnInnerAcquired(tid, requested_at); });
+}
+
+void SimAdaptiveLock::Acquire(int tid, SimCallback on_acquired) {
   const SimTime requested_at = machine_->engine().now();
   if (switching_) {
     // Park outside the draining backend, burning spin power like the native
@@ -512,7 +511,7 @@ void SimAdaptiveLock::EpochMaintenance(SimTime now) {
   }
 }
 
-void SimAdaptiveLock::Release(int tid, std::function<void()> on_released) {
+void SimAdaptiveLock::Release(int tid, SimCallback on_released) {
   const SimTime now = machine_->engine().now();
   profile_.RecordAcquire(pending_wait_cycles_, now - holder_granted_at_);
   if (profile_.epoch_acquires() >= config_.epoch_acquires) {
@@ -520,9 +519,11 @@ void SimAdaptiveLock::Release(int tid, std::function<void()> on_released) {
   }
   // Every in-flight acquisition targets the same backend (a switch only
   // completes after they drain), so the holder releases the active one.
-  Inner(current_).Release(tid, [this, cb = std::move(on_released)]() mutable {
+  release_cont_.Put(tid, std::move(on_released));
+  Inner(current_).Release(tid, [this, tid] {
     --outstanding_;
     MaybeFinishSwitch();
+    SimCallback cb = release_cont_.Take(tid);
     cb();
   });
 }

@@ -24,15 +24,14 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "src/adaptive/lock_stats.hpp"
 #include "src/adaptive/policy.hpp"
 #include "src/locks/mutexee.hpp"
 #include "src/platform/rng.hpp"
+#include "src/sim/callback.hpp"
 #include "src/sim/futex_model.hpp"
 #include "src/sim/machine.hpp"
 
@@ -53,12 +52,14 @@ class SimLock {
   virtual ~SimLock() = default;
 
   // The calling thread (running) requests the lock; `on_acquired` fires,
-  // with the thread running, once it owns the lock.
-  virtual void Acquire(int tid, std::function<void()> on_acquired) = 0;
+  // with the thread running, once it owns the lock. Waiting continuations
+  // park in per-thread slots (one outstanding acquire per thread), not in
+  // per-acquire heap closures -- see callback.hpp.
+  virtual void Acquire(int tid, SimCallback on_acquired) = 0;
 
   // Releases the lock; `on_released` fires when the release path (user-space
   // store, plus any futex wake / grace wait) has finished on the releaser.
-  virtual void Release(int tid, std::function<void()> on_released) = 0;
+  virtual void Release(int tid, SimCallback on_released) = 0;
 
   virtual std::string name() const = 0;
 
@@ -99,28 +100,22 @@ class SimSpinLock final : public SimLock {
  public:
   SimSpinLock(SimMachine* machine, SimSpinLockConfig config);
 
-  void Acquire(int tid, std::function<void()> on_acquired) override;
-  void Release(int tid, std::function<void()> on_released) override;
+  void Acquire(int tid, SimCallback on_acquired) override;
+  void Release(int tid, SimCallback on_released) override;
   std::string name() const override { return config_.name; }
 
  private:
-  struct Waiter {
-    int tid;
-    std::function<void()> on_acquired;
-  };
-
   std::uint64_t HandoverDelay() const;
   std::uint64_t ReleaseCost() const;
-  void GrantTo(Waiter waiter, std::uint64_t delay);
-  void FinalizeGrant(Waiter waiter);
+  void GrantTo(int tid, std::uint64_t delay);
+  void FinalizeGrant(int tid);
 
   SimSpinLockConfig config_;
   Xoshiro256 rng_;
   bool held_ = false;
-  std::deque<Waiter> waiters_;
-  // Guards against double-grant when a random-discipline grant is parked on
-  // multiple NotifyWhenRunning callbacks.
-  std::uint64_t grant_epoch_ = 0;
+  std::deque<int> waiters_;               // tids in arrival order
+  SlotVector<SimCallback> pending_;       // tid -> on_acquired
+  std::vector<std::size_t> running_scratch_;  // random-grant candidate buffer
 };
 
 // ---------------------------------------------------------------------------
@@ -140,8 +135,8 @@ class SimFutexMutex final : public SimLock {
  public:
   SimFutexMutex(SimMachine* machine, SimFutexMutexConfig config);
 
-  void Acquire(int tid, std::function<void()> on_acquired) override;
-  void Release(int tid, std::function<void()> on_released) override;
+  void Acquire(int tid, SimCallback on_acquired) override;
+  void Release(int tid, SimCallback on_released) override;
   std::string name() const override { return config_.name; }
   const SimFutex::Stats* futex_stats() const override { return &futex_.stats(); }
 
@@ -156,7 +151,8 @@ class SimFutexMutex final : public SimLock {
   Xoshiro256 rng_;
   bool held_ = false;
   std::deque<int> spinners_;
-  std::unordered_map<int, std::function<void()>> pending_;  // tid -> on_acquired
+  SlotVector<SimCallback> pending_;  // tid -> on_acquired
+  std::vector<std::size_t> running_scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -175,8 +171,8 @@ class SimMutexee final : public SimLock {
  public:
   SimMutexee(SimMachine* machine, SimMutexeeConfig config);
 
-  void Acquire(int tid, std::function<void()> on_acquired) override;
-  void Release(int tid, std::function<void()> on_released) override;
+  void Acquire(int tid, SimCallback on_acquired) override;
+  void Release(int tid, SimCallback on_released) override;
   std::string name() const override { return config_.name; }
   const SimFutex::Stats* futex_stats() const override { return &futex_.stats(); }
 
@@ -203,7 +199,9 @@ class SimMutexee final : public SimLock {
   Xoshiro256 rng_;
   bool held_ = false;
   std::deque<int> spinners_;
-  std::unordered_map<int, std::function<void()>> pending_;
+  SlotVector<SimCallback> pending_;       // tid -> on_acquired
+  SlotVector<SimCallback> release_cont_;  // tid -> on_released (grace window)
+  std::vector<std::size_t> running_scratch_;
   MutexeeLock::Mode mode_ = MutexeeLock::Mode::kSpin;
   std::uint64_t window_acquires_ = 0;
   std::uint64_t window_futex_ = 0;
@@ -236,8 +234,8 @@ class SimAdaptiveLock final : public SimLock {
   SimAdaptiveLock(SimMachine* machine, SimAdaptiveConfig config,
                   const struct SimLockOptions& inner_options);
 
-  void Acquire(int tid, std::function<void()> on_acquired) override;
-  void Release(int tid, std::function<void()> on_released) override;
+  void Acquire(int tid, SimCallback on_acquired) override;
+  void Release(int tid, SimCallback on_released) override;
   std::string name() const override { return config_.name; }
   const SimLockStats& stats() const override;
   const SimFutex::Stats* futex_stats() const override;
@@ -249,14 +247,15 @@ class SimAdaptiveLock final : public SimLock {
  private:
   struct Parked {
     int tid;
-    std::function<void()> on_acquired;
+    SimCallback on_acquired;
     SimTime requested_at;
   };
 
   SimLock& Inner(AdaptiveBackend b) { return *inner_[static_cast<int>(b)]; }
   const SimLock& Inner(AdaptiveBackend b) const { return *inner_[static_cast<int>(b)]; }
-  void IssueAcquire(AdaptiveBackend b, int tid, std::function<void()> on_acquired,
+  void IssueAcquire(AdaptiveBackend b, int tid, SimCallback on_acquired,
                     SimTime requested_at);
+  void OnInnerAcquired(int tid, SimTime requested_at);
   void EpochMaintenance(SimTime now);
   void MaybeFinishSwitch();
   std::uint64_t InnerSleepCalls() const;
@@ -271,6 +270,10 @@ class SimAdaptiveLock final : public SimLock {
   AdaptiveBackend next_ = AdaptiveBackend::kMutexee;
   std::uint64_t outstanding_ = 0;  // issued to the active backend, not yet released
   std::vector<Parked> parked_;     // arrivals held back during a switch
+  // Per-thread user continuations around the inner lock (the inner call
+  // gets a thin {this, tid} closure instead of a fat wrapper).
+  SlotVector<SimCallback> acquire_cont_;
+  SlotVector<SimCallback> release_cont_;
   std::uint64_t switches_ = 0;
   std::uint64_t epochs_ = 0;
   std::uint64_t last_sleep_calls_ = 0;

@@ -142,6 +142,7 @@ WorkloadResult RunLockWorkload(const std::string& lock_name, const WorkloadConfi
   const double joules = energy.total_joules();
   result.tpp = joules > 0 ? static_cast<double>(driver.total_acquires) / joules : 0.0;
   result.acquire_latency_cycles = driver.latency;
+  result.engine_events = driver.engine.executed_events();
   result.kernel_time_share = driver.machine->ActiveShare(ActivityState::kKernel);
   result.spin_time_share = driver.machine->ActiveShare(ActivityState::kSpinMbar) +
                            driver.machine->ActiveShare(ActivityState::kSpinPause) +
@@ -232,6 +233,7 @@ PhasedWorkloadResult RunPhasedLockWorkload(const std::string& lock_name,
 
   result.total_acquires = driver.total_acquires;
   result.seconds = static_cast<double>(total_cycles) / env.sim.cycles_per_second;
+  result.engine_events = driver.engine.executed_events();
   result.joules = driver.machine->Energy().total_joules();
   result.tpp = result.joules > 0
                    ? static_cast<double>(driver.total_acquires) / result.joules

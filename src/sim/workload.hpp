@@ -56,6 +56,9 @@ struct WorkloadResult {
   LatencyHistogram acquire_latency_cycles;
   SimLockStats lock_stats;        // aggregated over all locks
   SimFutex::Stats futex_stats;    // aggregated over all locks
+  // Engine events executed by the run (bench_sim_perf's throughput basis;
+  // also a cheap whole-run determinism fingerprint).
+  std::uint64_t engine_events = 0;
   // Share of active context time spent in the futex kernel path vs in the
   // lock's spin-wait loops (the paper's section 6.1 kernel-time metric).
   double kernel_time_share = 0.0;
@@ -109,6 +112,7 @@ struct PhasedWorkloadResult {
   double seconds = 0.0;
   double joules = 0.0;
   double tpp = 0.0;
+  std::uint64_t engine_events = 0;
 };
 
 // Runs `phases` back to back with one set of locks (thread count, lock count

@@ -1,6 +1,8 @@
 #include "src/stats/table.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
@@ -74,6 +76,64 @@ void TextTable::PrintCsv(std::ostream& out) const {
   for (const auto& row : rows_) {
     emit(row);
   }
+}
+
+void TextTable::PrintJson(std::ostream& out) const {
+  auto emit_string = [&](const std::string& cell) {
+    out << '"';
+    for (const char ch : cell) {
+      if (ch == '"' || ch == '\\') {
+        out << '\\' << ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        out << ' ';
+      } else {
+        out << ch;
+      }
+    }
+    out << '"';
+  };
+  auto emit_value = [&](const std::string& cell) {
+    // Unquoted when the whole cell parses as a finite number.
+    if (!cell.empty()) {
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() + cell.size() && std::isfinite(value)) {
+        out << cell;
+        return;
+      }
+    }
+    emit_string(cell);
+  };
+
+  // Object keys: always quoted (a numeric header like a thread count must
+  // not become a bare key), and deduplicated -- repeated headers such as
+  // the figure tables' two "paper" columns get a _2/_3 suffix so JSON
+  // parsers keep every column instead of the last duplicate.
+  std::vector<std::string> keys;
+  keys.reserve(header_.size());
+  for (const std::string& name : header_) {
+    std::string key = name;
+    int suffix = 2;
+    while (std::find(keys.begin(), keys.end(), key) != keys.end()) {
+      key = name + "_" + std::to_string(suffix++);
+    }
+    keys.push_back(std::move(key));
+  }
+
+  out << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t c = 0; c < keys.size(); ++c) {
+      if (c != 0) {
+        out << ", ";
+      }
+      emit_string(keys[c]);
+      out << ": ";
+      emit_value(rows_[r][c]);
+    }
+    out << "}";
+  }
+  out << "\n]\n";
 }
 
 }  // namespace lockin

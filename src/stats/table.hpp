@@ -25,6 +25,11 @@ class TextTable {
   void Print(std::ostream& out) const;
   void PrintCsv(std::ostream& out) const;
 
+  // One JSON object per row, keyed by header, wrapped in an array:
+  // [{"lock": "MUTEX", "Macq": 1.23}, ...]. Cells that parse fully as
+  // numbers are emitted unquoted so downstream tooling gets real numbers.
+  void PrintJson(std::ostream& out) const;
+
   std::size_t rows() const { return rows_.size(); }
 
  private:

@@ -1,0 +1,82 @@
+// Whole-simulator determinism: the engine's contract is that a benchmark
+// run is a repeatable event sequence, bit-for-bit. These tests run the
+// heaviest workload shapes twice and require *identical* results -- not
+// just close: acquire counts, executed-event counts, latency-histogram
+// contents and energy totals. This is what lets the figure benches serve
+// as regression baselines across the event-core rewrite.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/workload.hpp"
+
+namespace lockin {
+namespace {
+
+// fig16's phase-change scenario on the ADAPTIVE runtime: the richest event
+// mix in the repo (three inner lock models, futex sleeps/wakes/timeouts,
+// epoch switching, drain-based backend handover).
+PhasedWorkloadResult RunFig16Adaptive() {
+  WorkloadConfig base;
+  base.threads = 10;
+  base.locks = 1;
+  WorkloadPhase low;
+  low.duration_cycles = 7'000'000;
+  low.cs_cycles = 250;
+  low.non_cs_cycles = 4000;
+  WorkloadPhase high;
+  high.duration_cycles = 7'000'000;
+  high.cs_cycles = 16000;
+  high.non_cs_cycles = 100;
+  return RunPhasedLockWorkload("ADAPTIVE", base, {low, high, low, high});
+}
+
+TEST(SimDeterminism, Fig16AdaptiveWorkloadIsBitForBitRepeatable) {
+  const PhasedWorkloadResult a = RunFig16Adaptive();
+  const PhasedWorkloadResult b = RunFig16Adaptive();
+
+  EXPECT_EQ(a.total_acquires, b.total_acquires);
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  EXPECT_EQ(a.joules, b.joules);  // exact: same event order => same FP ops
+  EXPECT_EQ(a.tpp, b.tpp);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t p = 0; p < a.phases.size(); ++p) {
+    EXPECT_EQ(a.phases[p].acquires, b.phases[p].acquires);
+    EXPECT_EQ(a.phases[p].joules, b.phases[p].joules);
+    EXPECT_EQ(a.phases[p].throughput_per_s, b.phases[p].throughput_per_s);
+  }
+}
+
+// A futex-heavy oversubscribed MUTEX run (the fig13 MySQL regime):
+// scheduler quanta, futex timeouts, sleep misses and censored waits all in
+// play. Histogram contents must match bucket-for-bucket.
+TEST(SimDeterminism, OversubscribedMutexHistogramIsRepeatable) {
+  WorkloadConfig config;
+  config.threads = 30;  // > 2x the simulated machine's 40 contexts with SMT off
+  config.locks = 4;
+  config.cs_cycles = 3000;
+  config.non_cs_cycles = 1000;
+  config.duration_cycles = 5'000'000;
+  config.seed = 9;
+
+  const WorkloadResult a = RunLockWorkload("MUTEX", config);
+  const WorkloadResult b = RunLockWorkload("MUTEX", config);
+
+  EXPECT_EQ(a.total_acquires, b.total_acquires);
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  EXPECT_EQ(a.acquire_latency_cycles.count(), b.acquire_latency_cycles.count());
+  EXPECT_EQ(a.acquire_latency_cycles.min(), b.acquire_latency_cycles.min());
+  EXPECT_EQ(a.acquire_latency_cycles.max(), b.acquire_latency_cycles.max());
+  for (const double q : {0.5, 0.95, 0.99, 0.999, 0.9999}) {
+    EXPECT_EQ(a.acquire_latency_cycles.Percentile(q), b.acquire_latency_cycles.Percentile(q));
+  }
+  EXPECT_EQ(a.package_joules, b.package_joules);
+  EXPECT_EQ(a.dram_joules, b.dram_joules);
+  EXPECT_EQ(a.kernel_time_share, b.kernel_time_share);
+  EXPECT_EQ(a.futex_stats.sleep_calls, b.futex_stats.sleep_calls);
+  EXPECT_EQ(a.futex_stats.timeouts, b.futex_stats.timeouts);
+  EXPECT_EQ(a.lock_stats.resleeps, b.lock_stats.resleeps);
+}
+
+}  // namespace
+}  // namespace lockin

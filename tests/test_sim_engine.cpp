@@ -1,6 +1,7 @@
-// Event-engine tests: ordering, cancellation, determinism.
+// Event-engine tests: ordering, cancellation, determinism, pool recycling.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "src/sim/engine.hpp"
@@ -130,6 +131,64 @@ TEST(SimEngine, ExecutedEventCount) {
   }
   engine.RunAll();
   EXPECT_EQ(engine.executed_events(), 5u);
+}
+
+TEST(SimEngine, SlotReuseInvalidatesOldHandles) {
+  SimEngine engine;
+  int runs = 0;
+  const EventId first = engine.Schedule(10, [&] { ++runs; });
+  engine.RunAll();
+  // The slot is recycled: the next event likely lands in the same slot but
+  // carries a new generation, so cancelling the stale handle must not kill
+  // the new event.
+  engine.Schedule(10, [&] { ++runs; });
+  engine.Cancel(first);
+  engine.RunAll();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(SimEngine, SteadyStateRecyclesSlots) {
+  SimEngine engine;
+  // Warm the pool, then verify a sustained schedule/run cycle allocates
+  // nothing new (slab count, queue capacity and spill count all frozen).
+  std::uint64_t executed = 0;
+  std::function<void()> reschedule;  // drives a self-rescheduling chain
+  std::uint64_t remaining = 50000;
+  reschedule = [&] {
+    ++executed;
+    if (--remaining > 0) {
+      engine.Schedule(5, [&] { reschedule(); });
+    }
+  };
+  engine.Schedule(1, [&] { reschedule(); });
+  engine.RunUntil(10 * 5);  // warm up a few events
+  const SimEngine::PoolStats before = engine.pool_stats();
+  engine.RunAll();
+  const SimEngine::PoolStats after = engine.pool_stats();
+  EXPECT_EQ(executed, 50000u);
+  EXPECT_EQ(after.slab_blocks, before.slab_blocks);
+  EXPECT_EQ(after.queue_capacity, before.queue_capacity);
+  EXPECT_EQ(after.slot_capacity, before.slot_capacity);
+}
+
+TEST(SimEngine, CountsHeapSpillsForOversizedClosures) {
+  SimEngine engine;
+  struct Fat {
+    unsigned char payload[512] = {};
+  };
+  Fat fat;
+  bool ran = false;
+  engine.Schedule(1, [fat, &ran] {
+    (void)fat;
+    ran = true;
+  });
+  EXPECT_EQ(engine.pool_stats().heap_spills, 1u);
+  engine.RunAll();
+  EXPECT_TRUE(ran);
+  // Small closures stay inline: no further spills.
+  engine.Schedule(1, [&ran] { ran = !ran; });
+  engine.RunAll();
+  EXPECT_EQ(engine.pool_stats().heap_spills, 1u);
 }
 
 TEST(SimEngine, DeterministicAcrossRuns) {

@@ -183,5 +183,53 @@ TEST(SimMachine, ActiveContextsCountsRunners) {
   EXPECT_EQ(f.machine.ActiveContexts(), 2);
 }
 
+// The incrementally-maintained power breakdown must track a full
+// PowerModel recomputation through a busy mix of state changes (core
+// wake-ups, SMT siblings, sleeps, DVFS-min spinning, socket transitions).
+// The delta updates re-associate floating point, so the bound is a small
+// epsilon rather than equality; drift beyond that means the incremental
+// bookkeeping is wrong, not just reordered.
+TEST(SimMachine, IncrementalPowerMatchesFullRecompute) {
+  Fixture f;
+  const int threads = 30;
+  for (int t = 0; t < threads; ++t) {
+    f.machine.AddThread();
+  }
+  for (int t = 0; t < threads; ++t) {
+    f.machine.Start(t);
+  }
+  const ActivityState states[] = {
+      ActivityState::kWorking,  ActivityState::kCritical, ActivityState::kSpinMbar,
+      ActivityState::kKernel,   ActivityState::kSpinDvfsMin,
+      ActivityState::kSpinPause, ActivityState::kMwait};
+  std::uint64_t x = 88172645463325252ULL;  // xorshift: deterministic churn
+  for (int step = 0; step < 2000; ++step) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const int tid = static_cast<int>(x % threads);
+    const ActivityState state = states[(x >> 8) % (sizeof(states) / sizeof(states[0]))];
+    f.machine.SetActivity(tid, state);
+    if (step % 97 == 0) {
+      f.machine.SetVf(step % 194 == 0 ? VfSetting::kMin : VfSetting::kMax);
+    }
+    EXPECT_LT(f.machine.PowerCacheDriftForTest(), 1e-9) << "at step " << step;
+  }
+}
+
+TEST(SimMachine, StateSecondsTracksResidencyExactly) {
+  Fixture f;
+  const int tid = f.machine.AddThread();
+  f.machine.Start(tid);
+  f.machine.RunFor(tid, 1000, ActivityState::kWorking, [&] {
+    f.machine.RunFor(tid, 3000, ActivityState::kKernel, nullptr);
+  });
+  f.engine.RunAll();
+  const std::vector<double> seconds = f.machine.StateSeconds();
+  const double cps = SimParams::PaperXeon().cycles_per_second;
+  EXPECT_DOUBLE_EQ(seconds[static_cast<int>(ActivityState::kWorking)], 1000.0 / cps);
+  EXPECT_DOUBLE_EQ(seconds[static_cast<int>(ActivityState::kKernel)], 3000.0 / cps);
+}
+
 }  // namespace
 }  // namespace lockin
