@@ -6,6 +6,37 @@
 // (0.25x) configurations; Kyoto gains the most (up to 1.85x).
 #include "bench/bench_common.hpp"
 #include "src/sim/sysmodel.hpp"
+#include "src/systems/cache_workload.hpp"
+
+namespace lockin {
+namespace {
+
+// Native Memcached-shape scale scenario: the same striped cache the
+// simulated Memcached rows model, run on this host per LRU mode. The
+// global-LRU rows are the paper-shape contention (every SET crosses one
+// lock); the per-shard rows are the segmented-LRU scale mode.
+void EmitNativeCacheSection(const BenchOptions& options) {
+  TextTable table({"lru_mode", "mix", "Mops/s", "evictions"});
+  for (const MemCache::LruMode mode :
+       {MemCache::LruMode::kGlobalLock, MemCache::LruMode::kPerShard}) {
+    const char* mode_name = mode == MemCache::LruMode::kGlobalLock ? "global" : "per_shard";
+    for (const int get_percent : {10, 90}) {
+      CacheWorkloadConfig config;
+      config.lru_mode = mode;
+      config.get_percent = get_percent;
+      config.ops_per_thread = options.quick ? 20000 : 60000;
+      const CacheWorkloadResult r = RunCacheWorkload(config);
+      table.AddRow({mode_name, get_percent >= 50 ? "GET-heavy" : "SET-heavy",
+                    FormatDouble(r.MopsPerS(), 3), std::to_string(r.evictions)});
+    }
+  }
+  EmitTable(table, options,
+            "Figure 13 (native, this host): MemCache by LRU mode (4 threads, MUTEX; global = "
+            "paper-shape SET contention, per_shard = segmented-LRU scale scenario)");
+}
+
+}  // namespace
+}  // namespace lockin
 
 int main(int argc, char** argv) {
   using namespace lockin;
@@ -31,5 +62,6 @@ int main(int argc, char** argv) {
   table.AddRow({"Avg", "", FormatDouble(ticket_sum / count, 2), "1.06",
                 FormatDouble(mutexee_sum / count, 2), "1.26"});
   EmitTable(table, options, "Figure 13: normalized throughput of the six systems");
+  EmitNativeCacheSection(options);
   return 0;
 }

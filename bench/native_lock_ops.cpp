@@ -1,25 +1,31 @@
 // google-benchmark microbenchmarks of the *native* lock library on this
-// host: uncontested acquire/release and a contended counter. Sanity checks
-// that the real implementations behave (relative ordering of Table 2),
-// independent of the simulator.
+// host: uncontested acquire/release for every registered lock via both
+// dispatch tiers, and a contended counter. Sanity checks that the real
+// implementations behave (relative ordering of Table 2) and that the
+// devirtualized tier (src/locks/static_dispatch.hpp) beats the type-erased
+// LockHandle tier, independent of the simulator.
+//
+//   static/<NAME> -- templated loop, lock()/unlock() inlined
+//   handle/<NAME> -- LockHandle loop, two virtual calls per iteration
 #include <benchmark/benchmark.h>
 
-#include "src/locks/clh.hpp"
+#include <memory>
+#include <string>
+
 #include "src/locks/futex_lock.hpp"
-#include "src/locks/mcs.hpp"
+#include "src/locks/lock_registry.hpp"
 #include "src/locks/mutexee.hpp"
-#include "src/locks/pthread_adapter.hpp"
 #include "src/locks/rwlock.hpp"
-#include "src/locks/spinlocks.hpp"
+#include "src/locks/static_dispatch.hpp"
 
 namespace lockin {
 namespace {
 
 // Spin configuration safe for small hosts: yield after a bounded spin.
-SpinConfig BenchSpin() {
-  SpinConfig config;
-  config.yield_after = 256;
-  return config;
+LockBuildOptions TierBuildOptions() {
+  LockBuildOptions options;
+  options.spin.yield_after = 256;
+  return options;
 }
 
 template <typename Lock>
@@ -32,53 +38,31 @@ void UncontestedLoop(benchmark::State& state, Lock& lock) {
   state.SetItemsProcessed(state.iterations());
 }
 
-void BM_Tas(benchmark::State& state) {
-  TasLock lock(BenchSpin());
-  UncontestedLoop(state, lock);
+void BM_StaticTier(benchmark::State& state, const std::string& name) {
+  WithConcreteLock(name, TierBuildOptions(), [&](auto tag, auto&&... args) {
+    using L = typename decltype(tag)::type;
+    L lock(args...);
+    UncontestedLoop(state, lock);
+  });
 }
-BENCHMARK(BM_Tas);
 
-void BM_Ttas(benchmark::State& state) {
-  TtasLock lock(BenchSpin());
-  UncontestedLoop(state, lock);
+void BM_HandleTier(benchmark::State& state, const std::string& name) {
+  const std::unique_ptr<LockHandle> lock = MakeLockOrThrow(name, TierBuildOptions());
+  UncontestedLoop(state, *lock);
 }
-BENCHMARK(BM_Ttas);
 
-void BM_Ticket(benchmark::State& state) {
-  TicketLock lock(BenchSpin());
-  UncontestedLoop(state, lock);
+void RegisterTierBenchmarks() {
+  for (const std::string& name : RegisteredLockNames()) {
+    if (IsStaticallyDispatchable(name)) {
+      benchmark::RegisterBenchmark(("static/" + name).c_str(),
+                                   [name](benchmark::State& state) { BM_StaticTier(state, name); });
+    }
+    // ADAPTIVE only exists behind the type-erased interface; every other
+    // name gets the handle row as the dispatch-overhead baseline.
+    benchmark::RegisterBenchmark(("handle/" + name).c_str(),
+                                 [name](benchmark::State& state) { BM_HandleTier(state, name); });
+  }
 }
-BENCHMARK(BM_Ticket);
-
-void BM_Mcs(benchmark::State& state) {
-  McsLock lock(BenchSpin());
-  UncontestedLoop(state, lock);
-}
-BENCHMARK(BM_Mcs);
-
-void BM_Clh(benchmark::State& state) {
-  ClhLock lock(BenchSpin());
-  UncontestedLoop(state, lock);
-}
-BENCHMARK(BM_Clh);
-
-void BM_FutexMutex(benchmark::State& state) {
-  FutexLock lock;
-  UncontestedLoop(state, lock);
-}
-BENCHMARK(BM_FutexMutex);
-
-void BM_Mutexee(benchmark::State& state) {
-  MutexeeLock lock;
-  UncontestedLoop(state, lock);
-}
-BENCHMARK(BM_Mutexee);
-
-void BM_Pthread(benchmark::State& state) {
-  PthreadMutex lock;
-  UncontestedLoop(state, lock);
-}
-BENCHMARK(BM_Pthread);
 
 void BM_RwLockRead(benchmark::State& state) {
   RwLock lock;
@@ -116,4 +100,13 @@ BENCHMARK(BM_FutexMutexContended)->Threads(2)->Threads(4);
 }  // namespace
 }  // namespace lockin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  lockin::RegisterTierBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

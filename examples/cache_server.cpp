@@ -1,80 +1,36 @@
 // Domain scenario: a Memcached-style cache under a skewed (Zipf-ish)
 // workload, demonstrating why the paper's SET-heavy configurations contend
-// on one lock while GET-heavy ones spread over the stripes -- and how the
-// lock choice changes throughput on this host.
+// on one lock while GET-heavy ones spread over the stripes -- how the lock
+// choice changes throughput on this host, and how the per-shard segmented
+// LRU mode removes the global SET bottleneck entirely (the scale scenario).
 //
 //   $ ./cache_server [get_percent]
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <string>
-#include <thread>
-#include <vector>
 
-#include "src/platform/rng.hpp"
-#include "src/systems/cache.hpp"
-
-namespace {
-
-using namespace lockin;
-
-// Approximate Zipf: 80% of accesses hit 20% of keys, recursively.
-std::uint64_t SkewedKey(Xoshiro256* rng, std::uint64_t space) {
-  std::uint64_t lo = 0;
-  std::uint64_t hi = space;
-  for (int level = 0; level < 4 && hi - lo > 16; ++level) {
-    if (rng->NextDouble() < 0.8) {
-      hi = lo + (hi - lo) / 5;
-    } else {
-      lo = lo + (hi - lo) / 5;
-    }
-  }
-  return lo + rng->NextBelow(hi - lo + 1);
-}
-
-double RunCache(const std::string& lock_name, int get_percent) {
-  MemCache cache(NamedLockFactory(lock_name, /*yield_after=*/256),
-                 MemCache::Config{16, 50000});
-  constexpr int kThreads = 4;
-  constexpr int kOpsPerThread = 40000;
-  constexpr std::uint64_t kKeySpace = 60000;
-
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> workers;
-  for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&cache, t, get_percent] {
-      Xoshiro256 rng(static_cast<std::uint64_t>(t) * 7 + 1);
-      std::string value;
-      for (int i = 0; i < kOpsPerThread; ++i) {
-        const std::string key = "k" + std::to_string(SkewedKey(&rng, kKeySpace));
-        if (static_cast<int>(rng.NextBelow(100)) < get_percent) {
-          cache.Get(key, &value);
-        } else {
-          cache.Set(key, "v" + std::to_string(i));
-        }
-      }
-    });
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
-  const double seconds =
-      std::chrono::duration_cast<std::chrono::duration<double>>(
-          std::chrono::steady_clock::now() - start)
-          .count();
-  return kThreads * kOpsPerThread / seconds;
-}
-
-}  // namespace
+#include "src/systems/cache_workload.hpp"
 
 int main(int argc, char** argv) {
+  using namespace lockin;
   const int get_percent = argc > 1 ? std::atoi(argv[1]) : 50;
-  std::printf("memcached-style cache, 4 threads, %d%% GET / %d%% SET (every SET crosses the\n"
-              "global LRU lock; GETs only touch striped bucket locks)\n\n",
-              get_percent, 100 - get_percent);
-  std::printf("%-10s %15s\n", "lock", "ops/second");
+  std::printf(
+      "memcached-style cache, 4 threads, %d%% GET / %d%% SET\n"
+      "lru=global: every SET crosses the global LRU lock (paper shape)\n"
+      "lru=per_shard: segmented LRU, SETs only touch striped bucket locks\n\n",
+      get_percent, 100 - get_percent);
+  std::printf("%-10s %-10s %15s %12s\n", "lock", "lru", "ops/second", "evictions");
   for (const char* lock : {"MUTEX", "TICKET", "MUTEXEE"}) {
-    std::printf("%-10s %15.0f\n", lock, RunCache(lock, get_percent));
+    for (const MemCache::LruMode mode :
+         {MemCache::LruMode::kGlobalLock, MemCache::LruMode::kPerShard}) {
+      CacheWorkloadConfig config;
+      config.lock_name = lock;
+      config.lru_mode = mode;
+      config.get_percent = get_percent;
+      const CacheWorkloadResult r = RunCacheWorkload(config);
+      std::printf("%-10s %-10s %15.0f %12llu\n", lock,
+                  mode == MemCache::LruMode::kGlobalLock ? "global" : "per_shard", r.ops_per_s,
+                  static_cast<unsigned long long>(r.evictions));
+    }
   }
   return 0;
 }

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
       PowerModel(Topology::Detect(), PowerParams::PaperXeon()));
   std::unique_ptr<EnergyMeter> meter = MakeDefaultMeter(registry);
 
-  std::printf("%-10s %14s %10s %12s %10s %12s\n", "lock", "tput(acq/s)", "watts",
+  std::printf("%-10s %-6s %14s %10s %12s %10s %12s\n", "lock", "tier", "tput(acq/s)", "watts",
               "TPP(acq/J)", "p95(cyc)", "p99.99(cyc)");
   for (const std::string& name : RegisteredLockNames()) {
     NativeBenchConfig config;
@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
     for (int t = 0; t < threads; ++t) {
       registry->SetState(t, ActivityState::kInactive);
     }
-    std::printf("%-10s %14.0f %10.1f %12.0f %10llu %12llu\n", name.c_str(), r.throughput_per_s,
+    std::printf("%-10s %-6s %14.0f %10.1f %12.0f %10llu %12llu\n", name.c_str(),
+                r.used_static_dispatch ? "static" : "handle", r.throughput_per_s,
                 r.energy.average_watts(), r.tpp,
                 (unsigned long long)r.acquire_latency_cycles.P95(),
                 (unsigned long long)r.acquire_latency_cycles.P9999());

@@ -3,17 +3,6 @@
 #include <unordered_map>
 
 namespace lockin {
-namespace {
-
-inline void SpinStep(const SpinConfig& config, std::uint32_t iteration) {
-  if (config.yield_after != 0 && iteration >= config.yield_after) {
-    SpinPause(PauseKind::kYield);
-  } else {
-    SpinPause(config.pause);
-  }
-}
-
-}  // namespace
 
 ClhLock::ClhLock() : ClhLock(SpinConfig{}) {}
 
@@ -60,7 +49,7 @@ void ClhLock::lock() {
   slot->my_pred = pred;
   std::uint32_t iteration = 0;
   while (pred->locked.load(std::memory_order_acquire) != 0) {
-    SpinStep(config_, iteration++);
+    SpinWaitStep(config_, iteration++);
   }
 }
 

@@ -2,18 +2,9 @@
 
 namespace lockin {
 
-void FutexLock::lock() {
-  // Spin phase: up to config_.spin_tries CAS attempts from 0.
-  for (std::uint32_t attempt = 0; attempt < config_.spin_tries; ++attempt) {
-    std::uint32_t expected = 0;
-    if (state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
-                                       std::memory_order_relaxed)) {
-      return;
-    }
-    SpinPause(config_.pause);
-  }
-
-  // Sleep phase: advertise waiters by moving to state 2, then futex-wait.
+void FutexLock::LockSlow() {
+  // Sleep phase (the spin phase ran inline and failed): advertise waiters
+  // by moving to state 2, then futex-wait.
   std::uint32_t current = state_.load(std::memory_order_relaxed);
   for (;;) {
     if (current == 0) {
@@ -34,20 +25,6 @@ void FutexLock::lock() {
     }
     FutexWaitCounted(&state_, 2, &stats_);
     current = state_.load(std::memory_order_relaxed);
-  }
-}
-
-bool FutexLock::try_lock() {
-  std::uint32_t expected = 0;
-  return state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
-                                        std::memory_order_relaxed);
-}
-
-void FutexLock::unlock() {
-  // Release in user space; wake one sleeper only when waiters were
-  // advertised (state 2).
-  if (state_.exchange(0, std::memory_order_release) == 2) {
-    FutexWakeCounted(&state_, 1, &stats_);
   }
 }
 

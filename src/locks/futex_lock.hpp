@@ -37,14 +37,43 @@ class FutexLock {
   FutexLock() = default;
   explicit FutexLock(FutexLockConfig config) : config_(config) {}
 
-  void lock();
-  bool try_lock();
-  void unlock();
+  // Fast paths are inline (the uncontested CAS / release store is what the
+  // devirtualized bench tier measures); the futex sleep phase stays
+  // out-of-line in futex_lock.cpp.
+  void lock() {
+    // Spin phase: up to config_.spin_tries CAS attempts from 0.
+    for (std::uint32_t attempt = 0; attempt < config_.spin_tries; ++attempt) {
+      std::uint32_t expected = 0;
+      if (state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return;
+      }
+      SpinPause(config_.pause);
+    }
+    LockSlow();
+  }
+
+  bool try_lock() {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    // Release in user space; wake one sleeper only when waiters were
+    // advertised (state 2).
+    if (state_.exchange(0, std::memory_order_release) == 2) {
+      FutexWakeCounted(&state_, 1, &stats_);
+    }
+  }
 
   const FutexStats& futex_stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
  private:
+  // Sleep phase: advertise waiters by moving to state 2, then futex-wait.
+  void LockSlow();
+
   FutexLockConfig config_{};
   FutexStats stats_;
   alignas(kCacheLineSize) std::atomic<std::uint32_t> state_{0};

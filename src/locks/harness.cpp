@@ -4,58 +4,129 @@
 #include <chrono>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
+#include "src/locks/static_dispatch.hpp"
+#include "src/platform/cacheline.hpp"
 #include "src/platform/cycles.hpp"
-#include "src/platform/spin_hint.hpp"
 #include "src/platform/rng.hpp"
+#include "src/platform/spin_hint.hpp"
 #include "src/platform/topology.hpp"
 
 namespace lockin {
+namespace {
 
-NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* meter) {
-  std::vector<std::unique_ptr<LockHandle>> locks;
+// Per-worker hot state, one slot per thread. Regression note: the harness
+// used to collect counters in a bare std::vector<std::uint64_t>, which
+// packs 8 threads' per-acquire counters into a single cache line; the
+// resulting false sharing serialized the "uncontested" multi-lock configs
+// on coherence traffic. Every field a worker writes in the hot loop lives
+// in its own slot, each slot starting on a cache-line boundary and spanning
+// a whole number of lines (static_asserts below keep it that way).
+struct alignas(kCacheLineSize) WorkerSlot {
+  // Latency samples buffered per thread between histogram flushes; one
+  // flush per kLatencyBatch acquires keeps the histogram's bucket array
+  // (a per-thread heap block) out of the per-acquire path.
+  static constexpr std::size_t kLatencyBatch = 64;
+
+  explicit WorkerSlot(std::uint64_t rng_seed) : rng(rng_seed) {}
+
+  std::uint64_t acquires = 0;
+  std::uint32_t pending = 0;  // buffered samples not yet in the histogram
+  Xoshiro256 rng;
+  LatencyHistogram latency;
+  std::uint64_t samples[kLatencyBatch];
+};
+static_assert(alignof(WorkerSlot) == kCacheLineSize,
+              "worker slots must start on a cache-line boundary");
+static_assert(sizeof(WorkerSlot) % kCacheLineSize == 0,
+              "worker slots must span whole cache lines so adjacent slots "
+              "never share one (false-sharing regression guard)");
+
+// The measured loop. `Lock` is either a concrete lock type (static tier:
+// lock()/unlock() inline here) or LockHandle (type-erased tier: two virtual
+// calls per iteration). Everything the loop writes lives in `slot`; the
+// only cross-thread reads are the start/stop flags, and the stop flag is
+// polled once per `stop_check_every` iterations.
+template <typename Lock>
+void WorkerLoop(const NativeBenchConfig& config, Lock* const* locks, std::size_t lock_count,
+                WorkerSlot& slot, const std::atomic<bool>& start_flag,
+                const std::atomic<bool>& stop_flag) {
+  while (!start_flag.load(std::memory_order_acquire)) {
+    SpinPause(PauseKind::kYield);
+  }
+  const std::uint32_t cadence = config.stop_check_every == 0 ? 1 : config.stop_check_every;
+  const bool record = config.record_latency;
+  const std::uint64_t cs_cycles = config.cs_cycles;
+  const std::uint64_t non_cs_cycles = config.non_cs_cycles;
+  std::uint32_t countdown = 0;
+  for (;;) {
+    if (countdown == 0) {
+      if (stop_flag.load(std::memory_order_relaxed)) {
+        break;
+      }
+      countdown = cadence;
+    }
+    --countdown;
+    Lock& lock = lock_count == 1 ? *locks[0] : *locks[slot.rng.NextBelow(lock_count)];
+    if (record) {
+      const std::uint64_t before = ReadCycles();
+      lock.lock();
+      slot.samples[slot.pending] = ReadCycles() - before;
+      if (++slot.pending == WorkerSlot::kLatencyBatch) {
+        slot.latency.RecordBatch(slot.samples, slot.pending);
+        slot.pending = 0;
+      }
+    } else {
+      lock.lock();
+    }
+    SpinForCycles(cs_cycles);
+    lock.unlock();
+    ++slot.acquires;
+    if (non_cs_cycles != 0) {
+      SpinForCycles(non_cs_cycles);
+    }
+  }
+  if (slot.pending != 0) {
+    slot.latency.RecordBatch(slot.samples, slot.pending);
+    slot.pending = 0;
+  }
+}
+
+// Shared driver, instantiated once per lock type: builds the lock set via
+// `make_lock`, runs the workers, merges the slots.
+template <typename Lock, typename Factory>
+NativeBenchResult RunWithLockType(const NativeBenchConfig& config, EnergyMeter* meter,
+                                  Factory&& make_lock) {
+  std::vector<std::unique_ptr<Lock>> locks;
+  std::vector<Lock*> lock_ptrs;
   locks.reserve(static_cast<std::size_t>(config.locks));
+  lock_ptrs.reserve(static_cast<std::size_t>(config.locks));
   for (int i = 0; i < config.locks; ++i) {
-    locks.push_back(MakeLockOrThrow(config.lock_name, config.lock_options));
+    locks.push_back(make_lock());
+    lock_ptrs.push_back(locks.back().get());
   }
 
   const Topology topology = Topology::Detect();
   const std::vector<CpuInfo> pinning = topology.PinningOrder();
 
-  std::atomic<bool> start{false};
-  std::atomic<bool> stop{false};
-  std::vector<std::uint64_t> acquires(static_cast<std::size_t>(config.threads), 0);
-  std::vector<LatencyHistogram> latencies(static_cast<std::size_t>(config.threads));
+  std::atomic<bool> start_flag{false};
+  std::atomic<bool> stop_flag{false};
+  std::vector<WorkerSlot> slots;
+  slots.reserve(static_cast<std::size_t>(config.threads));
+  for (int t = 0; t < config.threads; ++t) {
+    slots.emplace_back(config.seed * 40503 + static_cast<std::uint64_t>(t));
+  }
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(config.threads));
   for (int t = 0; t < config.threads; ++t) {
-    workers.emplace_back([&, t] {
+    WorkerSlot& slot = slots[static_cast<std::size_t>(t)];
+    workers.emplace_back([&, &slot = slot, t] {
       if (config.pin_threads && !pinning.empty()) {
         PinThreadToCpu(pinning[static_cast<std::size_t>(t) % pinning.size()].os_cpu);
       }
-      Xoshiro256 rng(config.seed * 40503 + static_cast<std::uint64_t>(t));
-      while (!start.load(std::memory_order_acquire)) {
-        SpinPause(PauseKind::kYield);
-      }
-      std::uint64_t local_acquires = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        LockHandle& lock = locks.size() == 1
-                               ? *locks[0]
-                               : *locks[rng.NextBelow(locks.size())];
-        const std::uint64_t before = config.record_latency ? ReadCycles() : 0;
-        lock.lock();
-        if (config.record_latency) {
-          latencies[static_cast<std::size_t>(t)].Record(ReadCycles() - before);
-        }
-        SpinForCycles(config.cs_cycles);
-        lock.unlock();
-        ++local_acquires;
-        if (config.non_cs_cycles != 0) {
-          SpinForCycles(config.non_cs_cycles);
-        }
-      }
-      acquires[static_cast<std::size_t>(t)] = local_acquires;
+      WorkerLoop<Lock>(config, lock_ptrs.data(), lock_ptrs.size(), slot, start_flag, stop_flag);
     });
   }
 
@@ -63,9 +134,9 @@ NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* m
     meter->Start();
   }
   const auto t0 = std::chrono::steady_clock::now();
-  start.store(true, std::memory_order_release);
+  start_flag.store(true, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(config.duration_ms));
-  stop.store(true, std::memory_order_release);
+  stop_flag.store(true, std::memory_order_release);
   for (std::thread& worker : workers) {
     worker.join();
   }
@@ -77,9 +148,9 @@ NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* m
   if (meter != nullptr) {
     result.energy = meter->Stop();
   }
-  for (int t = 0; t < config.threads; ++t) {
-    result.total_acquires += acquires[static_cast<std::size_t>(t)];
-    result.acquire_latency_cycles.Merge(latencies[static_cast<std::size_t>(t)]);
+  for (const WorkerSlot& slot : slots) {
+    result.total_acquires += slot.acquires;
+    result.acquire_latency_cycles.Merge(slot.latency);
   }
   result.throughput_per_s = result.seconds > 0
                                 ? static_cast<double>(result.total_acquires) / result.seconds
@@ -88,6 +159,30 @@ NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* m
                    ? static_cast<double>(result.total_acquires) / result.energy.total_joules()
                    : 0;
   return result;
+}
+
+}  // namespace
+
+NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* meter) {
+  NativeBenchResult result;
+  if (config.dispatch != DispatchTier::kTypeErased) {
+    const bool dispatched =
+        WithConcreteLock(config.lock_name, config.lock_options, [&](auto tag, auto&&... args) {
+          using L = typename decltype(tag)::type;
+          result = RunWithLockType<L>(config, meter, [&] { return std::make_unique<L>(args...); });
+          result.used_static_dispatch = true;
+        });
+    if (dispatched) {
+      return result;
+    }
+    if (config.dispatch == DispatchTier::kStatic) {
+      throw std::invalid_argument("no static dispatch for lock: " + config.lock_name);
+    }
+  }
+  // Type-erased fallback (ADAPTIVE, unknown names -> MakeLockOrThrow's
+  // std::invalid_argument) or an explicitly requested kTypeErased baseline.
+  return RunWithLockType<LockHandle>(
+      config, meter, [&] { return MakeLockOrThrow(config.lock_name, config.lock_options); });
 }
 
 }  // namespace lockin

@@ -5,6 +5,19 @@
 // otherwise). This is the harness a user with a multi-socket machine runs
 // to get paper-style numbers on real hardware; the simulator benches in
 // bench/ are its calibrated stand-in for this repository's 1-CPU CI host.
+//
+// The measured loop runs on one of two dispatch tiers:
+//   * static  -- the loop is a template instantiated per concrete lock type
+//                (src/locks/static_dispatch.hpp), so lock()/unlock() inline
+//                into the loop body with zero indirect calls;
+//   * handle  -- the type-erased LockHandle path (two virtual calls per
+//                acquire/release pair), used for ADAPTIVE and kept around
+//                as the measurable-overhead baseline (BENCH_native.json
+//                reports both tiers).
+// Worker threads keep all hot state (acquire counter, RNG, latency batch
+// buffer, histogram) in cache-line-aligned per-thread slots, so the loop
+// shares no written cache line across threads and performs no per-acquire
+// heap allocation.
 #ifndef SRC_LOCKS_HARNESS_HPP_
 #define SRC_LOCKS_HARNESS_HPP_
 
@@ -19,6 +32,13 @@
 
 namespace lockin {
 
+// Which measured-loop implementation RunNativeBench uses.
+enum class DispatchTier {
+  kAuto,        // static when the name has a concrete type, else type-erased
+  kStatic,      // devirtualized only; std::invalid_argument otherwise
+  kTypeErased,  // force the LockHandle loop (dispatch-overhead baseline)
+};
+
 struct NativeBenchConfig {
   std::string lock_name = "MUTEXEE";
   int threads = 2;
@@ -31,6 +51,11 @@ struct NativeBenchConfig {
   std::uint64_t seed = 1;
   bool pin_threads = true;        // pin in the paper's socket-first order
   bool record_latency = true;     // per-acquire rdtsc latency histogram
+  DispatchTier dispatch = DispatchTier::kAuto;
+  // Hot-loop iterations between stop-flag loads (0 behaves as 1). The stop
+  // flag is the only cross-thread line the loop reads; checking it every
+  // iteration would put one shared load inside every measured acquire.
+  std::uint32_t stop_check_every = 32;
   LockBuildOptions lock_options;  // pause kind, yield threshold, budgets
 };
 
@@ -41,13 +66,14 @@ struct NativeBenchResult {
   double throughput_per_s = 0;
   EnergySample energy;            // zero when no meter was supplied
   double tpp = 0;                 // acquires/Joule (0 without a meter)
+  bool used_static_dispatch = false;  // which tier the measured loop ran on
   LatencyHistogram acquire_latency_cycles;
 };
 
-// Runs the workload. `meter` may be null (throughput only). Builds locks
-// via MakeLockOrThrow, so an unknown lock name raises std::invalid_argument
-// (the registry's probing API, MakeLock, returns nullptr instead; see
-// src/locks/lock_registry.hpp for the two-level contract).
+// Runs the workload. `meter` may be null (throughput only). Unknown lock
+// names raise std::invalid_argument (the registry's throwing contract via
+// MakeLockOrThrow on the type-erased tier; the static tier throws the same
+// for names with no concrete type, i.e. ADAPTIVE and unknown).
 NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* meter = nullptr);
 
 }  // namespace lockin

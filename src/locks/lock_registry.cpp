@@ -2,56 +2,24 @@
 
 #include <stdexcept>
 
-#include "src/locks/backoff.hpp"
-#include "src/locks/clh.hpp"
-#include "src/locks/futex_lock.hpp"
-#include "src/locks/mcs.hpp"
-#include "src/locks/pthread_adapter.hpp"
+#include "src/locks/static_dispatch.hpp"
 
 namespace lockin {
 
 std::unique_ptr<LockHandle> MakeLock(const std::string& name, const LockBuildOptions& options) {
-  if (name == "MUTEX") {
-    FutexLockConfig config;
-    config.spin_tries = options.mutex_spin_tries;
-    return std::make_unique<LockAdapter<FutexLock>>("MUTEX", config);
-  }
-  if (name == "PTHREAD") {
-    return std::make_unique<LockAdapter<PthreadMutex>>("PTHREAD");
-  }
-  if (name == "TAS") {
-    return std::make_unique<LockAdapter<TasLock>>("TAS", options.spin);
-  }
-  if (name == "TTAS") {
-    return std::make_unique<LockAdapter<TtasLock>>("TTAS", options.spin);
-  }
-  if (name == "TICKET") {
-    return std::make_unique<LockAdapter<TicketLock>>("TICKET", options.spin);
-  }
-  if (name == "MCS") {
-    return std::make_unique<LockAdapter<McsLock>>("MCS", options.spin);
-  }
-  if (name == "CLH") {
-    return std::make_unique<LockAdapter<ClhLock>>("CLH", options.spin);
-  }
-  if (name == "MUTEXEE") {
-    MutexeeConfig config = options.mutexee;
-    config.sleep_timeout_ns = 0;
-    return std::make_unique<LockAdapter<MutexeeLock>>("MUTEXEE", config);
-  }
-  if (name == "TAS-BO") {
-    BackoffConfig config;
-    config.pause = options.spin.pause;
-    config.yield_after = options.spin.yield_after;
-    return std::make_unique<LockAdapter<BackoffTasLock>>("TAS-BO", config);
-  }
-  if (name == "COHORT") {
-    CohortLock::Config config;
-    config.spin = options.spin;
-    return std::make_unique<LockAdapter<CohortLock>>("COHORT", config);
-  }
-  if (name == "MUTEXEE-TO") {
-    return std::make_unique<LockAdapter<MutexeeLock>>("MUTEXEE-TO", options.mutexee);
+  // Every concrete (non-ADAPTIVE) name routes through the compile-time
+  // dispatch table, wrapped in a LockAdapter. The *ConfigFrom helpers in
+  // static_dispatch.hpp keep this type-erased tier and the devirtualized
+  // tier configured identically.
+  std::unique_ptr<LockHandle> handle;
+  const bool concrete =
+      WithConcreteLock(name, options, [&](auto tag, auto&&... args) {
+        using L = typename decltype(tag)::type;
+        handle = std::make_unique<LockAdapter<L>>(
+            name, std::forward<decltype(args)>(args)...);
+      });
+  if (concrete) {
+    return handle;
   }
   if (name == "ADAPTIVE") {
     AdaptiveLockConfig config = options.adaptive;

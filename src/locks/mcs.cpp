@@ -12,14 +12,6 @@ struct TlsNodePool {
 
 thread_local TlsNodePool tls_pool;
 
-inline void SpinStep(const SpinConfig& config, std::uint32_t iteration) {
-  if (config.yield_after != 0 && iteration >= config.yield_after) {
-    SpinPause(PauseKind::kYield);
-  } else {
-    SpinPause(config.pause);
-  }
-}
-
 }  // namespace
 
 void McsLock::lock(McsNode* node) {
@@ -32,7 +24,7 @@ void McsLock::lock(McsNode* node) {
   prev->next.store(node, std::memory_order_release);
   std::uint32_t iteration = 0;
   while (node->locked.load(std::memory_order_acquire) != 0) {
-    SpinStep(config_, iteration++);
+    SpinWaitStep(config_, iteration++);
   }
 }
 
@@ -56,7 +48,7 @@ void McsLock::unlock(McsNode* node) {
     // the link (bounded: the enqueuer is between two instructions).
     std::uint32_t iteration = 0;
     while ((successor = node->next.load(std::memory_order_acquire)) == nullptr) {
-      SpinStep(config_, iteration++);
+      SpinWaitStep(config_, iteration++);
     }
   }
   successor->locked.store(0, std::memory_order_release);

@@ -1,0 +1,134 @@
+// Compile-time dispatch over the lock registry.
+//
+// The registry (src/locks/lock_registry.hpp) hands out type-erased
+// LockHandles: two virtual calls per acquire/release pair. That is fine for
+// the mini-systems (their critical sections dwarf a virtual call) but it is
+// measurement overhead in the *measured loop* of the native harness and the
+// uncontested microbenchmarks, where lock()/unlock() themselves are the
+// payload. This header maps every registered concrete lock name to its
+// concrete type so those loops can be instantiated as templates with fully
+// inlined lock()/unlock() -- the devirtualized "static" dispatch tier.
+// ADAPTIVE (which switches algorithms at run time and is inherently
+// indirect) and unknown names are not mapped; callers fall back to the
+// LockHandle tier.
+//
+// The *ConfigFrom helpers below are the single source of truth for how
+// LockBuildOptions reaches each algorithm's config struct; lock_registry.cpp
+// builds its LockAdapters through the same helpers so the two dispatch
+// tiers can never configure a lock differently.
+#ifndef SRC_LOCKS_STATIC_DISPATCH_HPP_
+#define SRC_LOCKS_STATIC_DISPATCH_HPP_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/locks/backoff.hpp"
+#include "src/locks/clh.hpp"
+#include "src/locks/futex_lock.hpp"
+#include "src/locks/lock_registry.hpp"
+#include "src/locks/mcs.hpp"
+#include "src/locks/mutexee.hpp"
+#include "src/locks/pthread_adapter.hpp"
+#include "src/locks/spinlocks.hpp"
+
+namespace lockin {
+
+// Tag carrying the concrete lock type through a generic visitor.
+template <typename L>
+struct LockTypeTag {
+  using type = L;
+};
+
+inline FutexLockConfig MutexConfigFrom(const LockBuildOptions& options) {
+  FutexLockConfig config;
+  config.spin_tries = options.mutex_spin_tries;
+  return config;
+}
+
+// "MUTEXEE": the options' budgets with the sleep timeout forced off (the
+// paper's default MUTEXEE never times out; "MUTEXEE-TO" is the timeout row).
+inline MutexeeConfig MutexeeConfigFrom(const LockBuildOptions& options) {
+  MutexeeConfig config = options.mutexee;
+  config.sleep_timeout_ns = 0;
+  return config;
+}
+
+inline BackoffConfig BackoffConfigFrom(const LockBuildOptions& options) {
+  BackoffConfig config;
+  config.pause = options.spin.pause;
+  config.yield_after = options.spin.yield_after;
+  return config;
+}
+
+inline CohortLock::Config CohortConfigFrom(const LockBuildOptions& options) {
+  CohortLock::Config config;
+  config.spin = options.spin;
+  return config;
+}
+
+// Calls `visitor(LockTypeTag<L>{}, ctor_args...)` with the constructor
+// arguments the registry would use for the same name (locks hold atomics
+// and are neither copyable nor movable, so the visitor receives the
+// arguments rather than a built instance and constructs in place). Returns
+// true if `name` has a concrete compile-time type; false (without calling
+// the visitor) for ADAPTIVE and unknown names, which only exist behind the
+// type-erased LockHandle interface.
+template <typename Visitor>
+bool WithConcreteLock(const std::string& name, const LockBuildOptions& options,
+                      Visitor&& visitor) {
+  if (name == "MUTEX") {
+    visitor(LockTypeTag<FutexLock>{}, MutexConfigFrom(options));
+    return true;
+  }
+  if (name == "PTHREAD") {
+    visitor(LockTypeTag<PthreadMutex>{});
+    return true;
+  }
+  if (name == "TAS") {
+    visitor(LockTypeTag<TasLock>{}, options.spin);
+    return true;
+  }
+  if (name == "TTAS") {
+    visitor(LockTypeTag<TtasLock>{}, options.spin);
+    return true;
+  }
+  if (name == "TICKET") {
+    visitor(LockTypeTag<TicketLock>{}, options.spin);
+    return true;
+  }
+  if (name == "MCS") {
+    visitor(LockTypeTag<McsLock>{}, options.spin);
+    return true;
+  }
+  if (name == "CLH") {
+    visitor(LockTypeTag<ClhLock>{}, options.spin);
+    return true;
+  }
+  if (name == "MUTEXEE") {
+    visitor(LockTypeTag<MutexeeLock>{}, MutexeeConfigFrom(options));
+    return true;
+  }
+  if (name == "MUTEXEE-TO") {
+    visitor(LockTypeTag<MutexeeLock>{}, options.mutexee);
+    return true;
+  }
+  if (name == "TAS-BO") {
+    visitor(LockTypeTag<BackoffTasLock>{}, BackoffConfigFrom(options));
+    return true;
+  }
+  if (name == "COHORT") {
+    visitor(LockTypeTag<CohortLock>{}, CohortConfigFrom(options));
+    return true;
+  }
+  return false;
+}
+
+// True when `name` can run on the devirtualized tier.
+inline bool IsStaticallyDispatchable(const std::string& name) {
+  return WithConcreteLock(name, LockBuildOptions{}, [](auto, auto&&...) {});
+}
+
+}  // namespace lockin
+
+#endif  // SRC_LOCKS_STATIC_DISPATCH_HPP_

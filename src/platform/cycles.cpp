@@ -41,12 +41,6 @@ std::uint64_t NsToCycles(std::uint64_t ns) {
   return static_cast<std::uint64_t>(static_cast<double>(ns) * CyclesPerNs());
 }
 
-void SpinForCycles(std::uint64_t cycles) {
-  const std::uint64_t start = ReadCycles();
-  while (ReadCycles() - start < cycles) {
-  }
-}
-
 std::uint64_t FallbackCycleClock() {
   const auto now = std::chrono::steady_clock::now().time_since_epoch();
   return static_cast<std::uint64_t>(

@@ -40,12 +40,21 @@ std::uint64_t CyclesToNs(std::uint64_t cycles);
 // Converts nanoseconds into cycles using the calibrated TSC rate.
 std::uint64_t NsToCycles(std::uint64_t ns);
 
-// Spins (reading the TSC) for approximately `cycles` cycles. The workhorse
-// for "critical section of N cycles" workloads used across the benchmarks.
-void SpinForCycles(std::uint64_t cycles);
-
 // std::chrono-based fallback for platforms without a cheap cycle counter.
 std::uint64_t FallbackCycleClock();
+
+// Spins (reading the TSC) for approximately `cycles` cycles. The workhorse
+// for "critical section of N cycles" workloads used across the benchmarks.
+// Inline with a zero fast path: measured loops call this with 0 for "no
+// critical section", which must not cost a call plus two TSC reads.
+inline void SpinForCycles(std::uint64_t cycles) {
+  if (cycles == 0) {
+    return;
+  }
+  const std::uint64_t start = ReadCycles();
+  while (ReadCycles() - start < cycles) {
+  }
+}
 
 // Simple scoped timer in cycles.
 class CycleTimer {

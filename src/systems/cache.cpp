@@ -1,83 +1,188 @@
 #include "src/systems/cache.hpp"
 
-#include <functional>
+#include <utility>
 
 namespace lockin {
+namespace {
+
+constexpr std::size_t kInitialSlots = 16;  // power of two
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
 
 MemCache::MemCache(const LockFactory& make_lock, Config config)
     : config_(config), lru_lock_(make_lock()) {
+  per_shard_capacity_ = config_.capacity / config_.shards;
+  if (per_shard_capacity_ == 0) {
+    per_shard_capacity_ = 1;
+  }
   shards_.resize(config_.shards);
   for (Shard& shard : shards_) {
     shard.lock = make_lock();
+    shard.slots.assign(kInitialSlots, Slot{});
   }
 }
 
-MemCache::Shard& MemCache::ShardFor(const std::string& key) {
-  const std::size_t hash = std::hash<std::string>{}(key);
-  return shards_[hash % shards_.size()];
+MemCache::Slot* MemCache::FindSlot(Shard& shard, std::size_t hash, std::string_view key) {
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t i = hash & mask;
+  while (shard.slots[i].state != SlotState::kEmpty) {
+    Slot& slot = shard.slots[i];
+    if (slot.state == SlotState::kFull && slot.hash == hash && slot.key == key) {
+      return &slot;
+    }
+    i = (i + 1) & mask;
+  }
+  return nullptr;
 }
 
-void MemCache::EvictIfNeeded() {
-  // Called with lru_lock_ held. Approximate LRU: scan a victim shard for
-  // the oldest ticket (memcached similarly approximates with segmented LRU).
+void MemCache::GrowShard(Shard& shard) {
+  std::vector<Slot> old = std::move(shard.slots);
+  shard.slots.assign(NextPowerOfTwo(old.size() * 2), Slot{});
+  shard.occupied = shard.used;
+  const std::size_t mask = shard.slots.size() - 1;
+  for (Slot& slot : old) {
+    if (slot.state != SlotState::kFull) {
+      continue;
+    }
+    std::size_t i = slot.hash & mask;
+    while (shard.slots[i].state == SlotState::kFull) {
+      i = (i + 1) & mask;
+    }
+    shard.slots[i] = std::move(slot);
+  }
+}
+
+void MemCache::Upsert(Shard& shard, std::size_t hash, const std::string& key,
+                      std::string&& value, std::uint64_t ticket) {
+  // Keep load (full + tombstones) under 3/4 so probes stay short.
+  if ((shard.occupied + 1) * 4 > shard.slots.size() * 3) {
+    GrowShard(shard);
+  }
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t i = hash & mask;
+  Slot* tombstone = nullptr;
+  while (shard.slots[i].state != SlotState::kEmpty) {
+    Slot& slot = shard.slots[i];
+    if (slot.state == SlotState::kFull && slot.hash == hash && slot.key == key) {
+      slot.value = std::move(value);
+      slot.lru_ticket = ticket;
+      return;
+    }
+    if (slot.state == SlotState::kTombstone && tombstone == nullptr) {
+      tombstone = &slot;
+    }
+    i = (i + 1) & mask;
+  }
+  Slot& target = tombstone != nullptr ? *tombstone : shard.slots[i];
+  if (tombstone == nullptr) {
+    ++shard.occupied;  // consumed a fresh empty slot
+  }
+  target.hash = hash;
+  target.state = SlotState::kFull;
+  target.lru_ticket = ticket;
+  target.key = key;
+  target.value = std::move(value);
+  ++shard.used;
+  size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MemCache::TombstoneSlot(Shard& shard, Slot& slot) {
+  slot.state = SlotState::kTombstone;
+  slot.key.clear();
+  slot.key.shrink_to_fit();
+  slot.value.clear();
+  slot.value.shrink_to_fit();
+  --shard.used;
+  size_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void MemCache::EvictOneFrom(Shard& shard) {
+  // Approximate LRU: scan for the oldest ticket in the shard (memcached
+  // similarly approximates with segmented LRU). The scan reuses the stored
+  // hashes implicitly -- no key is rehashed while picking a victim.
+  Slot* victim = nullptr;
+  std::uint64_t oldest = ~0ULL;
+  for (Slot& slot : shard.slots) {
+    if (slot.state == SlotState::kFull && slot.lru_ticket < oldest) {
+      oldest = slot.lru_ticket;
+      victim = &slot;
+    }
+  }
+  if (victim == nullptr) {
+    return;
+  }
+  TombstoneSlot(shard, *victim);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MemCache::EvictIfNeededGlobal() {
+  // Called with lru_lock_ held; the victim-shard cursor round-robins with
+  // the global LRU clock, as before the open-addressing rework.
   if (size_.load(std::memory_order_relaxed) <= config_.capacity) {
     return;
   }
   Shard& victim_shard = shards_[lru_clock_ % shards_.size()];
   HandleGuard shard_guard(*victim_shard.lock);
-  const std::string* victim_key = nullptr;
-  std::uint64_t oldest = ~0ULL;
-  for (const auto& [key, item] : victim_shard.items) {
-    if (item.lru_ticket < oldest) {
-      oldest = item.lru_ticket;
-      victim_key = &key;
-    }
-  }
-  if (victim_key != nullptr) {
-    victim_shard.items.erase(*victim_key);
-    size_.fetch_sub(1, std::memory_order_relaxed);
-    ++evictions_;
-  }
+  EvictOneFrom(victim_shard);
 }
 
 void MemCache::Set(const std::string& key, std::string value) {
-  // Every SET crosses the global LRU lock -- the contention point the
-  // paper's SET-heavy Memcached workload exposes.
-  HandleGuard lru_guard(*lru_lock_);
-  const std::uint64_t ticket = ++lru_clock_;
-  {
-    Shard& shard = ShardFor(key);
-    HandleGuard shard_guard(*shard.lock);
-    auto [it, inserted] = shard.items.try_emplace(key);
-    it->second.value = std::move(value);
-    it->second.lru_ticket = ticket;
-    if (inserted) {
-      size_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t hash = HashKey(key);
+  if (config_.lru_mode == LruMode::kGlobalLock) {
+    // Every SET crosses the global LRU lock -- the contention point the
+    // paper's SET-heavy Memcached workload exposes.
+    HandleGuard lru_guard(*lru_lock_);
+    const std::uint64_t ticket = ++lru_clock_;
+    {
+      Shard& shard = ShardFor(hash);
+      HandleGuard shard_guard(*shard.lock);
+      Upsert(shard, hash, key, std::move(value), ticket);
     }
+    EvictIfNeededGlobal();
+    return;
   }
-  EvictIfNeeded();
+  // kPerShard: the shard lock covers the ticket, the write and the
+  // eviction; no SET ever touches a cross-shard line.
+  Shard& shard = ShardFor(hash);
+  HandleGuard shard_guard(*shard.lock);
+  const std::uint64_t ticket = ++shard.lru_clock;
+  Upsert(shard, hash, key, std::move(value), ticket);
+  while (shard.used > per_shard_capacity_) {
+    EvictOneFrom(shard);
+  }
 }
 
 bool MemCache::Get(const std::string& key, std::string* out) {
-  Shard& shard = ShardFor(key);
+  const std::size_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
   HandleGuard shard_guard(*shard.lock);
-  const auto it = shard.items.find(key);
-  if (it == shard.items.end()) {
+  const Slot* slot = FindSlot(shard, hash, key);
+  if (slot == nullptr) {
     return false;
   }
   if (out != nullptr) {
-    *out = it->second.value;
+    *out = slot->value;
   }
   return true;
 }
 
 bool MemCache::Delete(const std::string& key) {
-  Shard& shard = ShardFor(key);
+  const std::size_t hash = HashKey(key);
+  Shard& shard = ShardFor(hash);
   HandleGuard shard_guard(*shard.lock);
-  if (shard.items.erase(key) == 0) {
+  Slot* slot = FindSlot(shard, hash, key);
+  if (slot == nullptr) {
     return false;
   }
-  size_.fetch_sub(1, std::memory_order_relaxed);
+  TombstoneSlot(shard, *slot);
   return true;
 }
 

@@ -4,24 +4,40 @@
 // with striped bucket locks plus a single LRU/eviction lock that every SET
 // crosses -- which is why SET-heavy workloads contend on one lock while
 // GET-heavy ones spread across the stripes (Figures 13-14, SET vs GET).
+//
+// Storage is an open-addressing table per shard that keeps each key's hash
+// next to the entry: the key is hashed exactly once per operation and the
+// stored hash is reused for shard routing, probing (full-hash compare
+// short-circuits the string compare) and the LRU eviction scan. Two LRU
+// modes: kGlobalLock preserves the paper's contention shape (the default);
+// kPerShard segments the LRU clock and eviction budget per shard so SETs
+// never cross a global lock -- the scale scenario for many-core hosts
+// (memcached itself made the same move with its segmented LRU).
 #ifndef SRC_SYSTEMS_CACHE_HPP_
 #define SRC_SYSTEMS_CACHE_HPP_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "src/platform/cacheline.hpp"
 #include "src/systems/common.hpp"
 
 namespace lockin {
 
 class MemCache {
  public:
+  enum class LruMode {
+    kGlobalLock,  // every SET crosses one LRU lock (paper-shape contention)
+    kPerShard,    // segmented LRU: per-shard clock + eviction budget
+  };
+
   struct Config {
     std::size_t shards = 16;        // bucket-lock stripes
     std::size_t capacity = 100000;  // max items before LRU eviction
+    LruMode lru_mode = LruMode::kGlobalLock;
   };
 
   MemCache(const LockFactory& make_lock, Config config);
@@ -29,7 +45,8 @@ class MemCache {
   MemCache(const MemCache&) = delete;
   MemCache& operator=(const MemCache&) = delete;
 
-  // SET: writes the item and touches the LRU under the global lru lock.
+  // SET: writes the item; touches the LRU under the global lru lock
+  // (kGlobalLock) or entirely under the shard lock (kPerShard).
   void Set(const std::string& key, std::string value);
 
   // GET: reads under the shard lock only (LRU touch is sampled, like
@@ -39,27 +56,66 @@ class MemCache {
   bool Delete(const std::string& key);
 
   std::size_t Size() const;
-  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  LruMode lru_mode() const { return config_.lru_mode; }
+
+  // Key hashing and shard routing, exposed so tests can pin the mapping:
+  // routing must stay hash(key) % shards across storage reworks (clients
+  // and benches rely on a stable key -> stripe distribution).
+  static std::size_t HashKey(std::string_view key) {
+    return std::hash<std::string_view>{}(key);
+  }
+  static std::size_t ShardIndexFor(std::string_view key, std::size_t shards) {
+    return HashKey(key) % shards;
+  }
 
  private:
-  struct Item {
-    std::string value;
+  enum class SlotState : std::uint8_t { kEmpty, kFull, kTombstone };
+
+  // Open-addressing slot; `hash` is the full stored hash (computed once in
+  // Set/Get/Delete, reused for probing and the eviction scan).
+  struct Slot {
+    std::size_t hash = 0;
+    SlotState state = SlotState::kEmpty;
     std::uint64_t lru_ticket = 0;
-  };
-  struct Shard {
-    std::unique_ptr<LockHandle> lock;
-    std::unordered_map<std::string, Item> items;
+    std::string key;
+    std::string value;
   };
 
-  Shard& ShardFor(const std::string& key);
-  void EvictIfNeeded();
+  // Cache-line aligned: in kPerShard mode adjacent shards' hot counters
+  // (used/occupied/lru_clock) are written by different threads every SET;
+  // sharing a line would reintroduce exactly the false sharing the
+  // per-shard mode exists to remove.
+  struct alignas(kCacheLineSize) Shard {
+    std::unique_ptr<LockHandle> lock;
+    std::vector<Slot> slots;       // power-of-two, linear probing
+    std::size_t used = 0;          // kFull entries
+    std::size_t occupied = 0;      // kFull + kTombstone (drives rehash)
+    std::uint64_t lru_clock = 0;   // per-shard ticket clock (kPerShard)
+  };
+
+  Shard& ShardFor(std::size_t hash) { return shards_[hash % shards_.size()]; }
+
+  // All of these require the shard lock to be held.
+  Slot* FindSlot(Shard& shard, std::size_t hash, std::string_view key);
+  void Upsert(Shard& shard, std::size_t hash, const std::string& key, std::string&& value,
+              std::uint64_t ticket);
+  void GrowShard(Shard& shard);
+  void TombstoneSlot(Shard& shard, Slot& slot);
+  void EvictOneFrom(Shard& shard);
+
+  void EvictIfNeededGlobal();  // requires lru_lock_ held
 
   Config config_;
+  std::size_t per_shard_capacity_ = 0;  // kPerShard eviction budget
   std::vector<Shard> shards_;
-  // Global LRU clock + eviction state, guarded by lru_lock_.
+  // Global LRU clock + eviction cursor, guarded by lru_lock_ (kGlobalLock).
   std::unique_ptr<LockHandle> lru_lock_;
   std::uint64_t lru_clock_ = 0;
-  std::uint64_t evictions_ = 0;
+  // Written under a lock (lru_lock_ or a shard lock depending on the LRU
+  // mode) but read by the unsynchronized evictions() accessor: atomic with
+  // relaxed ordering (it is a monotone statistic, not a synchronizer).
+  std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::size_t> size_{0};
 };
 

@@ -1,0 +1,50 @@
+// Native multi-threaded workload driver over MemCache.
+//
+// The Memcached-shape experiment the paper runs in Figures 13-14 (GET- vs
+// SET-heavy mixes over a striped cache with a global LRU lock), runnable on
+// the host against the real lock library. Shared by examples/cache_server,
+// the fig13 bench's native section, and bench/bench_native_perf (which
+// tracks Mops/s per LRU mode in BENCH_native.json).
+#ifndef SRC_SYSTEMS_CACHE_WORKLOAD_HPP_
+#define SRC_SYSTEMS_CACHE_WORKLOAD_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "src/systems/cache.hpp"
+
+namespace lockin {
+
+struct CacheWorkloadConfig {
+  std::string lock_name = "MUTEX";
+  MemCache::LruMode lru_mode = MemCache::LruMode::kGlobalLock;
+  int threads = 4;
+  int ops_per_thread = 40000;
+  int get_percent = 50;            // rest are SETs
+  std::size_t shards = 16;
+  std::size_t capacity = 50000;
+  std::uint64_t key_space = 60000;
+  std::uint64_t seed = 1;
+  std::uint32_t yield_after = 256;  // spinlock oversubscription escape hatch
+};
+
+struct CacheWorkloadResult {
+  double seconds = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t evictions = 0;
+  std::size_t final_size = 0;
+  double ops_per_s = 0;
+
+  double MopsPerS() const { return ops_per_s / 1e6; }
+};
+
+// Approximate Zipf used by the skewed key pick: 80% of accesses hit 20% of
+// the key space, recursively.
+std::uint64_t SkewedCacheKey(class Xoshiro256* rng, std::uint64_t space);
+
+CacheWorkloadResult RunCacheWorkload(const CacheWorkloadConfig& config);
+
+}  // namespace lockin
+
+#endif  // SRC_SYSTEMS_CACHE_WORKLOAD_HPP_

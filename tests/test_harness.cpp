@@ -64,5 +64,42 @@ TEST(NativeHarness, LatencyRecordingCanBeDisabled) {
   EXPECT_GT(result.total_acquires, 0u);
 }
 
+// --- Dispatch tiers ----------------------------------------------------------
+
+TEST(NativeHarness, ConcreteLocksRunOnTheStaticTier) {
+  const NativeBenchResult result = RunNativeBench(ShortConfig("TAS"));
+  EXPECT_TRUE(result.used_static_dispatch);
+  EXPECT_GT(result.total_acquires, 0u);
+}
+
+TEST(NativeHarness, TypeErasedTierCanBeForced) {
+  NativeBenchConfig config = ShortConfig("TAS");
+  config.dispatch = DispatchTier::kTypeErased;
+  const NativeBenchResult result = RunNativeBench(config);
+  EXPECT_FALSE(result.used_static_dispatch);
+  EXPECT_GT(result.total_acquires, 0u);
+  // Both tiers keep the one-sample-per-acquire contract.
+  EXPECT_EQ(result.acquire_latency_cycles.count(), result.total_acquires);
+}
+
+TEST(NativeHarness, AdaptiveFallsBackToTheHandleTier) {
+  const NativeBenchResult result = RunNativeBench(ShortConfig("ADAPTIVE"));
+  EXPECT_FALSE(result.used_static_dispatch);
+  EXPECT_GT(result.total_acquires, 0u);
+}
+
+TEST(NativeHarness, StaticTierRefusesNamesWithoutConcreteType) {
+  NativeBenchConfig config = ShortConfig("ADAPTIVE");
+  config.dispatch = DispatchTier::kStatic;
+  EXPECT_THROW(RunNativeBench(config), std::invalid_argument);
+}
+
+TEST(NativeHarness, StopCheckCadenceZeroBehavesAsOne) {
+  NativeBenchConfig config = ShortConfig("TICKET");
+  config.stop_check_every = 0;
+  const NativeBenchResult result = RunNativeBench(config);
+  EXPECT_GT(result.total_acquires, 0u);
+}
+
 }  // namespace
 }  // namespace lockin

@@ -1,8 +1,11 @@
 // Unit tests for src/stats: histogram percentiles, run summaries, tables.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
+#include "src/platform/rng.hpp"
 #include "src/stats/histogram.hpp"
 #include "src/stats/summary.hpp"
 #include "src/stats/table.hpp"
@@ -90,6 +93,81 @@ TEST(Histogram, MergeCombines) {
   EXPECT_EQ(a.min(), 100u);
   EXPECT_EQ(a.max(), 10000u);
   EXPECT_NEAR(static_cast<double>(a.P50()), 100.0, 10000.0 * 0.04);
+}
+
+TEST(Histogram, MergeWithMismatchedEmptiness) {
+  // Empty absorbing non-empty: adopts the other's extremes.
+  LatencyHistogram empty_side;
+  LatencyHistogram full;
+  full.Record(100);
+  full.Record(200);
+  empty_side.Merge(full);
+  EXPECT_EQ(empty_side.count(), 2u);
+  EXPECT_EQ(empty_side.min(), 100u);
+  EXPECT_EQ(empty_side.max(), 200u);
+
+  // Non-empty absorbing empty: min/max/count must be untouched (an empty
+  // histogram's sentinel min is ~0ULL and must not leak in).
+  LatencyHistogram full2;
+  full2.Record(100);
+  full2.Record(200);
+  LatencyHistogram empty2;
+  full2.Merge(empty2);
+  EXPECT_EQ(full2.count(), 2u);
+  EXPECT_EQ(full2.min(), 100u);
+  EXPECT_EQ(full2.max(), 200u);
+
+  // Empty absorbing empty stays empty.
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+}
+
+TEST(Histogram, PercentileExtremesOnSingleBucketData) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(1000);
+  h.Record(1000);
+  EXPECT_EQ(h.Percentile(0.0), h.min());
+  EXPECT_EQ(h.Percentile(0.0), 1000u);
+  EXPECT_EQ(h.Percentile(1.0), h.max());
+  EXPECT_EQ(h.Percentile(1.0), 1000u);
+  // Out-of-range quantiles clamp to the extremes.
+  EXPECT_EQ(h.Percentile(-0.5), 1000u);
+  EXPECT_EQ(h.Percentile(1.5), 1000u);
+}
+
+TEST(Histogram, BatchedRecordMatchesScalarPath) {
+  // Deterministic pseudo-random values spanning the linear and log regions.
+  std::uint64_t state = 42;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(SplitMix64(state) % 5000000);
+  }
+  LatencyHistogram scalar;
+  for (const std::uint64_t v : values) {
+    scalar.Record(v);
+  }
+  LatencyHistogram batched;
+  // Uneven chunks exercise the flush boundaries.
+  std::size_t offset = 0;
+  for (const std::size_t chunk : {7u, 64u, 1u, 500u}) {
+    batched.RecordBatch(values.data() + offset, chunk);
+    offset += chunk;
+  }
+  batched.RecordBatch(values.data() + offset, values.size() - offset);
+  batched.RecordBatch(values.data(), 0);  // empty batch is a no-op
+
+  EXPECT_EQ(batched.count(), scalar.count());
+  EXPECT_EQ(batched.min(), scalar.min());
+  EXPECT_EQ(batched.max(), scalar.max());
+  EXPECT_DOUBLE_EQ(batched.Mean(), scalar.Mean());
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(batched.Percentile(q), scalar.Percentile(q)) << q;
+  }
 }
 
 TEST(Histogram, ResetClears) {
