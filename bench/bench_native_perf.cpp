@@ -2,7 +2,7 @@
 //
 // PR-over-PR trajectory for the *native* measurement path (the code a user
 // runs on real hardware for paper-style numbers), complementing the
-// simulator tracker (bench_sim_perf / BENCH_sim.json). Three sections:
+// simulator tracker (bench_sim_perf / BENCH_sim.json). Four sections:
 //
 //   1. Uncontested lock+unlock ns/op for every concrete lock, measured via
 //      both dispatch tiers: the devirtualized static tier (templated loop,
@@ -15,6 +15,10 @@
 //   3. MemCache Mops/s per LRU mode (kGlobalLock = paper-shape SET
 //      contention, kPerShard = segmented-LRU scale scenario) on GET- and
 //      SET-heavy mixes.
+//   4. Every registered scenario (src/systems/workload_api.hpp) through the
+//      unified native driver, so the trajectory tracks all mini-systems,
+//      not just the cache. --scenario restricts to one, --lock/--threads
+//      override the defaults (MUTEX, 4).
 //
 // Output: aligned tables (or --csv/--json), plus BENCH_native.json in the
 // current directory. Numbers are best-of-3 (uncontested) on whatever host
@@ -33,6 +37,7 @@
 #include "src/locks/static_dispatch.hpp"
 #include "src/platform/cycles.hpp"
 #include "src/systems/cache_workload.hpp"
+#include "src/systems/workload_api.hpp"
 
 namespace lockin {
 namespace {
@@ -175,12 +180,55 @@ CacheRow MeasureCache(MemCache::LruMode mode, int ops_per_thread) {
   return row;
 }
 
+struct ScenarioRow {
+  std::string name;
+  std::string system;
+  double mops = 0;
+  double p99_cycles = 0;
+};
+
+// One run per registered scenario through the unified driver, using the
+// lock/threads resolved once in main (the same values label the table and
+// the JSON record). Per-op latency recording stays on here (unlike the
+// legacy cache rows): the p99 is part of the tracked trajectory.
+std::vector<ScenarioRow> MeasureScenarios(const BenchOptions& options,
+                                          const std::string& lock, int threads) {
+  ScenarioConfig config;
+  config.lock_name = lock;
+  config.threads = threads;
+  config.ops_per_thread = options.quick ? 6000 : 25000;
+  std::vector<ScenarioRow> rows;
+  for (const ScenarioInfo& info : RegisteredScenarios()) {
+    if (!options.scenario.empty() && options.scenario != info.name) {
+      continue;
+    }
+    const ScenarioResult result = RunScenarioByName(info.name, config);
+    rows.push_back({info.name, info.system, result.MopsPerS(),
+                    static_cast<double>(result.op_latency_cycles.P99())});
+  }
+  return rows;
+}
+
 }  // namespace
 }  // namespace lockin
 
 int main(int argc, char** argv) {
   using namespace lockin;
-  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const BenchOptions options =
+      BenchOptions::Parse(argc, argv, /*extra_flags=*/{}, /*with_scenario_flags=*/true);
+  // Validate the scenario-section overrides up front: a typo must fail
+  // loudly here, not abort mid-run (--lock) or silently empty the tracked
+  // scenarios array (--scenario).
+  if (!options.lock.empty() && MakeLock(options.lock) == nullptr) {
+    std::cerr << argv[0] << ": unknown lock: " << options.lock << "\n";
+    return 2;
+  }
+  if (!options.scenario.empty() &&
+      ScenarioRegistry::Instance().Find(options.scenario) == nullptr) {
+    std::cerr << argv[0] << ": unknown scenario: " << options.scenario
+              << " (see scenario_runner --list)\n";
+    return 2;
+  }
 
   // --- 1. Dispatch tiers, uncontested -------------------------------------
   const int iters = options.quick ? 200000 : 1000000;
@@ -231,6 +279,20 @@ int main(int argc, char** argv) {
             "MemCache Mops/s by LRU mode (global = paper-shape SET contention, per_shard = "
             "segmented-LRU scale scenario; 4 threads, MUTEX)");
 
+  // --- 4. Scenario layer: every mini-system through the unified driver -----
+  const std::string scenario_lock = options.lock.empty() ? "MUTEX" : options.lock;
+  const int scenario_threads = options.threads > 0 ? options.threads : 4;
+  const std::vector<ScenarioRow> scenario_rows =
+      MeasureScenarios(options, scenario_lock, scenario_threads);
+  TextTable scenario_table({"scenario", "system", "Mops/s", "op_p99_kcycles"});
+  for (const ScenarioRow& row : scenario_rows) {
+    scenario_table.AddRow({row.name, row.system, FormatDouble(row.mops, 3),
+                           FormatDouble(row.p99_cycles / 1e3, 1)});
+  }
+  EmitTable(scenario_table, options,
+            "Registered scenarios via the unified native driver (" + scenario_lock + ", " +
+                std::to_string(scenario_threads) + " threads)");
+
   // --- Machine-readable trajectory record ----------------------------------
   std::ofstream json("BENCH_native.json");
   json << "{\n"
@@ -257,6 +319,17 @@ int main(int argc, char** argv) {
          << FormatDouble(row.set_heavy_mops, 4) << ", \"get_heavy\": "
          << FormatDouble(row.get_heavy_mops, 4) << ", \"evictions\": " << row.evictions << "}"
          << (i + 1 < cache_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"scenario_lock\": \"" << scenario_lock << "\",\n"
+       << "  \"scenario_threads\": " << scenario_threads << ",\n"
+       << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenario_rows.size(); ++i) {
+    const ScenarioRow& row = scenario_rows[i];
+    json << "    {\"name\": \"" << row.name << "\", \"system\": \"" << row.system
+         << "\", \"mops\": " << FormatDouble(row.mops, 4)
+         << ", \"op_p99_cycles\": " << FormatDouble(row.p99_cycles, 0) << "}"
+         << (i + 1 < scenario_rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::cout << "wrote BENCH_native.json\n";

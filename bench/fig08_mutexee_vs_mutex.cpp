@@ -8,20 +8,13 @@
 // Extra ablations (design knobs from section 5.1):
 //   --no-grace     disable the user-space unlock grace window
 //   (the spin-budget sensitivity lives in the ratios across the cs axis)
-#include <cstring>
-
 #include "bench/bench_common.hpp"
 #include "src/sim/workload.hpp"
 
 int main(int argc, char** argv) {
   using namespace lockin;
-  const BenchOptions options = BenchOptions::Parse(argc, argv);
-  bool no_grace = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--no-grace") == 0) {
-      no_grace = true;
-    }
-  }
+  const BenchOptions options = BenchOptions::Parse(argc, argv, {"--no-grace"});
+  const bool no_grace = options.HasExtra("--no-grace");
 
   WorkloadEnv env;
   env.lock_options.mutexee.enable_unlock_grace = !no_grace;

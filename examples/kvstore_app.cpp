@@ -1,79 +1,32 @@
 // Domain scenario: an embedded key-value store (HamsterDB-style) whose lock
 // algorithm is chosen at run time -- the paper's systems experiment in
-// miniature. Runs the same mixed workload under MUTEX, TICKET and MUTEXEE
-// and reports per-lock throughput.
+// miniature. A thin wrapper over the unified scenario API: runs the
+// registered "kvstore/WT-RD" scenario under several locks and reports
+// per-lock throughput. (scenario_runner generalizes this to every scenario
+// and every lock.)
 //
 //   $ ./kvstore_app [ops_per_thread]
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <string>
-#include <thread>
-#include <vector>
 
-#include "src/platform/rng.hpp"
-#include "src/systems/kvstore.hpp"
-
-namespace {
-
-double RunWorkload(const std::string& lock_name, int ops_per_thread) {
-  lockin::KvStore store(lockin::NamedLockFactory(lock_name, /*yield_after=*/256));
-  constexpr int kThreads = 4;
-  constexpr std::uint64_t kKeySpace = 20000;
-
-  // Preload half the key space.
-  for (std::uint64_t key = 0; key < kKeySpace; key += 2) {
-    store.Put(key, "initial");
-  }
-
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> workers;
-  for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&store, t, ops_per_thread] {
-      lockin::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
-      std::string value;
-      for (int i = 0; i < ops_per_thread; ++i) {
-        const std::uint64_t key = rng.NextBelow(kKeySpace);
-        switch (rng.NextBelow(10)) {
-          case 0:
-          case 1:  // 20% writes
-            store.Put(key, "value-" + std::to_string(i));
-            break;
-          case 2:  // 10% deletes
-            store.Erase(key);
-            break;
-          case 3:  // 10% short scans
-            store.CountRange(key, key + 64);
-            break;
-          default:  // 60% reads
-            store.Get(key, &value);
-            break;
-        }
-      }
-    });
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
-  const double seconds =
-      std::chrono::duration_cast<std::chrono::duration<double>>(
-          std::chrono::steady_clock::now() - start)
-          .count();
-  if (!store.CheckInvariants()) {
-    std::fprintf(stderr, "B+-tree invariant violation under %s!\n", lock_name.c_str());
-    std::exit(1);
-  }
-  return kThreads * ops_per_thread / seconds;
-}
-
-}  // namespace
+#include "src/systems/workload_api.hpp"
 
 int main(int argc, char** argv) {
+  using namespace lockin;
   const int ops = argc > 1 ? std::atoi(argv[1]) : 50000;
-  std::printf("embedded KV store, 4 threads, %d ops/thread (80%% reads/scans)\n\n", ops);
+  std::printf("embedded KV store (scenario kvstore/WT-RD), 4 threads, %d ops/thread\n\n", ops);
   std::printf("%-10s %15s\n", "lock", "ops/second");
   for (const char* lock : {"MUTEX", "TICKET", "MUTEXEE", "MCS", "ADAPTIVE"}) {
-    std::printf("%-10s %15.0f\n", lock, RunWorkload(lock, ops));
+    ScenarioConfig config;
+    config.lock_name = lock;
+    config.threads = 4;
+    config.ops_per_thread = ops;
+    const ScenarioResult result = RunScenarioByName("kvstore/WT-RD", config);
+    if (result.MetricOr("invariants_ok") == 0) {
+      std::fprintf(stderr, "B+-tree invariant violation under %s!\n", lock);
+      return 1;
+    }
+    std::printf("%-10s %15.0f\n", lock, result.ops_per_s);
   }
   std::printf("\n(absolute numbers depend on this host; the paper's Figure 13 ratios come\n"
               "from the simulated Xeon: see bench/fig13_systems_throughput)\n");

@@ -1,0 +1,253 @@
+// Unified scenario CLI: run any registered scenario under any registered
+// lock through the shared native driver (src/systems/workload_api.hpp).
+//
+//   $ ./scenario_runner --list
+//   $ ./scenario_runner --scenario kvstore/WT --lock MUTEXEE --threads 8
+//   $ ./scenario_runner --scenario cache/set-heavy --lock all --json
+//   $ ./scenario_runner --all --quick
+//
+// Flags:
+//   --list            print the scenario table (name, system, description)
+//   --scenario NAME   scenario to run (repeatable via --all)
+//   --all             run every registered scenario
+//   --lock NAME       lock algorithm, or "all" for every registered lock
+//   --threads N       worker threads (default 4)
+//   --ops N           operations per thread (default 40000; --quick: 8000)
+//   --seconds S       time-bounded run instead of fixed ops
+//   --seed N          workload seed (default 1)
+//   --read-percent P  override the scenario's default mix
+//   --key-space N     override the scenario's default key space
+//   --json            machine-readable output (one JSON object per run)
+//   --quick           short run (CI smoke)
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/locks/lock_registry.hpp"
+#include "src/stats/table.hpp"
+#include "src/systems/workload_api.hpp"
+
+namespace {
+
+using namespace lockin;
+
+struct RunnerOptions {
+  bool list = false;
+  bool all = false;
+  bool json = false;
+  bool quick = false;
+  std::string scenario;
+  std::string lock = "MUTEX";
+  int threads = 4;
+  int ops = 0;  // 0 = default (40000, or 8000 with --quick)
+  double seconds = 0;
+  std::uint64_t seed = 1;
+  int read_percent = -1;
+  std::uint64_t key_space = 0;
+};
+
+void PrintUsage(const char* prog, std::FILE* out) {
+  std::fprintf(out,
+               "usage: %s --list | --scenario NAME | --all [options]\n"
+               "  --lock NAME|all  --threads N  --ops N  --seconds S  --seed N\n"
+               "  --read-percent P  --key-space N  --json  --quick\n",
+               prog);
+}
+
+[[noreturn]] void Fail(const char* prog, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", prog, message.c_str());
+  PrintUsage(prog, stderr);
+  std::exit(2);
+}
+
+RunnerOptions ParseArgs(int argc, char** argv) {
+  RunnerOptions options;
+  auto value_of = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      Fail(argv[0], std::string(flag) + " requires a value");
+    }
+    return argv[++i];
+  };
+  auto int_of = [&](int& i, const char* flag, long min, long max) -> long {
+    const char* value = value_of(i, flag);
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < min || parsed > max) {
+      Fail(argv[0], std::string("invalid ") + flag + " value: " + value);
+    }
+    return parsed;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      options.list = true;
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      options.all = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      options.json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--scenario") == 0) {
+      options.scenario = value_of(i, "--scenario");
+    } else if (std::strcmp(argv[i], "--lock") == 0) {
+      options.lock = value_of(i, "--lock");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      options.threads = static_cast<int>(int_of(i, "--threads", 1, 4096));
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      options.ops = static_cast<int>(int_of(i, "--ops", 1, 1000000000));
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      const char* value = value_of(i, "--seconds");
+      char* end = nullptr;
+      options.seconds = std::strtod(value, &end);
+      if (end == value || *end != '\0' || options.seconds <= 0) {
+        Fail(argv[0], std::string("invalid --seconds value: ") + value);
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      // Full uint64 range: seeds are often derived from timestamps/hashes.
+      const char* value = value_of(i, "--seed");
+      char* end = nullptr;
+      errno = 0;
+      options.seed = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0' || errno == ERANGE) {
+        Fail(argv[0], std::string("invalid --seed value: ") + value);
+      }
+    } else if (std::strcmp(argv[i], "--read-percent") == 0) {
+      options.read_percent = static_cast<int>(int_of(i, "--read-percent", 0, 100));
+    } else if (std::strcmp(argv[i], "--key-space") == 0) {
+      options.key_space = static_cast<std::uint64_t>(int_of(i, "--key-space", 1, 1000000000));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage(argv[0], stdout);
+      std::exit(0);
+    } else {
+      Fail(argv[0], std::string("unrecognized argument: ") + argv[i]);
+    }
+  }
+  return options;
+}
+
+void ListScenarios(bool json) {
+  TextTable table({"scenario", "system", "description"});
+  for (const ScenarioInfo& info : RegisteredScenarios()) {
+    table.AddRow({info.name, info.system, info.description});
+  }
+  if (json) {
+    table.PrintJson(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+}
+
+void EmitJson(const ScenarioResult& r, bool record_latency) {
+  std::printf("{\"scenario\": \"%s\", \"lock\": \"%s\", \"threads\": %d, "
+              "\"seconds\": %.6f, \"total_ops\": %llu, \"ops_per_s\": %.1f",
+              r.scenario.c_str(), r.lock_name.c_str(), r.threads, r.seconds,
+              static_cast<unsigned long long>(r.total_ops), r.ops_per_s);
+  if (record_latency) {
+    std::printf(", \"op_p50_cycles\": %llu, \"op_p99_cycles\": %llu, \"op_max_cycles\": %llu",
+                static_cast<unsigned long long>(r.op_latency_cycles.P50()),
+                static_cast<unsigned long long>(r.op_latency_cycles.P99()),
+                static_cast<unsigned long long>(r.op_latency_cycles.max()));
+  }
+  for (const ScenarioMetric& metric : r.metrics) {
+    std::printf(", \"%s\": %.0f", metric.name.c_str(), metric.value);
+  }
+  std::printf("}\n");
+}
+
+std::string MetricsToString(const ScenarioResult& r) {
+  std::string out;
+  for (const ScenarioMetric& metric : r.metrics) {
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += metric.name + "=" + FormatDouble(metric.value, 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const RunnerOptions options = ParseArgs(argc, argv);
+  if (options.list) {
+    ListScenarios(options.json);
+    return 0;
+  }
+
+  if (options.all && !options.scenario.empty()) {
+    Fail(argv[0], "--all and --scenario are mutually exclusive");
+  }
+  std::vector<std::string> scenario_names;
+  if (options.all) {
+    for (const ScenarioInfo& info : RegisteredScenarios()) {
+      scenario_names.push_back(info.name);
+    }
+  } else if (!options.scenario.empty()) {
+    if (ScenarioRegistry::Instance().Find(options.scenario) == nullptr) {
+      std::fprintf(stderr, "%s: unknown scenario: %s (try --list)\n", argv[0],
+                   options.scenario.c_str());
+      return 2;
+    }
+    scenario_names.push_back(options.scenario);
+  } else {
+    Fail(argv[0], "one of --list, --scenario NAME or --all is required");
+  }
+
+  std::vector<std::string> lock_names;
+  if (options.lock == "all") {
+    lock_names = RegisteredLockNames();
+  } else {
+    if (MakeLock(options.lock) == nullptr) {
+      std::fprintf(stderr, "%s: unknown lock: %s\n", argv[0], options.lock.c_str());
+      return 2;
+    }
+    lock_names.push_back(options.lock);
+  }
+
+  if (options.ops > 0 && options.seconds > 0) {
+    Fail(argv[0], "--ops and --seconds are mutually exclusive");
+  }
+  ScenarioConfig config;
+  config.threads = options.threads;
+  config.ops_per_thread = options.ops > 0 ? options.ops : (options.quick ? 8000 : 40000);
+  if (options.seconds > 0) {
+    // Floor at 1 ms: truncating a sub-millisecond request to 0 would
+    // silently fall back to fixed-op mode.
+    const double ms = options.seconds * 1000.0;
+    config.duration_ms = ms < 1.0 ? 1 : static_cast<std::uint64_t>(ms);
+  }
+  config.seed = options.seed;
+  config.read_percent = options.read_percent;
+  config.key_space = options.key_space;
+
+  TextTable table({"scenario", "lock", "threads", "Mops/s", "p99_kcycles", "metrics"});
+  for (const std::string& scenario : scenario_names) {
+    for (const std::string& lock : lock_names) {
+      config.lock_name = lock;
+      ScenarioResult result;
+      try {
+        result = RunScenarioByName(scenario, config);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s: %s under %s failed: %s\n", argv[0], scenario.c_str(),
+                     lock.c_str(), error.what());
+        return 1;
+      }
+      if (options.json) {
+        EmitJson(result, config.record_latency);
+      } else {
+        table.AddRow({scenario, lock, std::to_string(result.threads),
+                      FormatDouble(result.MopsPerS(), 3),
+                      FormatDouble(static_cast<double>(result.op_latency_cycles.P99()) / 1e3, 1),
+                      MetricsToString(result)});
+      }
+    }
+  }
+  if (!options.json) {
+    table.Print(std::cout);
+  }
+  return 0;
+}

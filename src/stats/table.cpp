@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <iomanip>
 #include <sstream>
@@ -85,7 +86,22 @@ void TextTable::PrintJson(std::ostream& out) const {
       if (ch == '"' || ch == '\\') {
         out << '\\' << ch;
       } else if (static_cast<unsigned char>(ch) < 0x20) {
-        out << ' ';
+        // Control characters must survive round-tripping: the common ones
+        // get their short escapes, the rest \uXXXX (RFC 8259).
+        switch (ch) {
+          case '\n': out << "\\n"; break;
+          case '\t': out << "\\t"; break;
+          case '\r': out << "\\r"; break;
+          case '\b': out << "\\b"; break;
+          case '\f': out << "\\f"; break;
+          default: {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(ch)));
+            out << buf;
+            break;
+          }
+        }
       } else {
         out << ch;
       }

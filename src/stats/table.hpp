@@ -27,7 +27,8 @@ class TextTable {
 
   // One JSON object per row, keyed by header, wrapped in an array:
   // [{"lock": "MUTEX", "Macq": 1.23}, ...]. Cells that parse fully as
-  // numbers are emitted unquoted so downstream tooling gets real numbers.
+  // numbers are emitted unquoted so downstream tooling gets real numbers;
+  // quotes, backslashes and control characters are escaped per RFC 8259.
   void PrintJson(std::ostream& out) const;
 
   std::size_t rows() const { return rows_.size(); }

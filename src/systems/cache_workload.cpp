@@ -1,79 +1,37 @@
 #include "src/systems/cache_workload.hpp"
 
-#include <atomic>
-#include <chrono>
-#include <cstdio>
-#include <thread>
-#include <vector>
-
-#include "src/platform/rng.hpp"
+#include "src/systems/scenarios/scenario_defs.hpp"
 
 namespace lockin {
 
-std::uint64_t SkewedCacheKey(Xoshiro256* rng, std::uint64_t space) {
-  std::uint64_t lo = 0;
-  std::uint64_t hi = space;
-  for (int level = 0; level < 4 && hi - lo > 16; ++level) {
-    if (rng->NextDouble() < 0.8) {
-      hi = lo + (hi - lo) / 5;
-    } else {
-      lo = lo + (hi - lo) / 5;
-    }
-  }
-  return lo + rng->NextBelow(hi - lo + 1);
-}
-
 CacheWorkloadResult RunCacheWorkload(const CacheWorkloadConfig& config) {
-  MemCache cache(NamedLockFactory(config.lock_name, config.yield_after),
-                 MemCache::Config{config.shards, config.capacity, config.lru_mode});
+  CacheScenario::Params params;
+  params.get_percent = config.get_percent;
+  params.shards = config.shards;
+  params.capacity = config.capacity;
+  params.key_space = config.key_space;
+  params.lru_mode = config.lru_mode;
+  CacheScenario scenario(params);
 
-  std::atomic<std::uint64_t> hits{0};
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(config.threads));
-  for (int t = 0; t < config.threads; ++t) {
-    workers.emplace_back([&, t] {
-      Xoshiro256 rng(config.seed + static_cast<std::uint64_t>(t) * 7 + 1);
-      std::uint64_t local_hits = 0;
-      // Keys/values are formatted into stack buffers: the workload measures
-      // the cache's locking, not std::to_string temporaries.
-      char buf[32];
-      std::string key;
-      std::string value;
-      for (int i = 0; i < config.ops_per_thread; ++i) {
-        int len = std::snprintf(buf, sizeof buf, "k%llu",
-                                static_cast<unsigned long long>(
-                                    SkewedCacheKey(&rng, config.key_space)));
-        key.assign(buf, static_cast<std::size_t>(len));
-        if (static_cast<int>(rng.NextBelow(100)) < config.get_percent) {
-          if (cache.Get(key, &value)) {
-            ++local_hits;
-          }
-        } else {
-          len = std::snprintf(buf, sizeof buf, "v%d", i);
-          value.assign(buf, static_cast<std::size_t>(len));
-          cache.Set(key, std::move(value));
-        }
-      }
-      hits.fetch_add(local_hits, std::memory_order_relaxed);
-    });
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
+  ScenarioConfig run;
+  run.lock_name = config.lock_name;
+  run.threads = config.threads;
+  run.ops_per_thread = config.ops_per_thread;
+  run.seed = config.seed;
+  run.yield_after = config.yield_after;
+  // The pre-API driver had no per-op rdtsc; keep it off so the Mops numbers
+  // fig13 and bench_native_perf track stay comparable across the refactor.
+  run.record_latency = false;
+  const ScenarioResult result = RunScenario(scenario, run, "cache(legacy)");
 
-  CacheWorkloadResult result;
-  result.seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
-  result.total_ops = static_cast<std::uint64_t>(config.threads) *
-                     static_cast<std::uint64_t>(config.ops_per_thread);
-  result.get_hits = hits.load();
-  result.evictions = cache.evictions();
-  result.final_size = cache.Size();
-  result.ops_per_s =
-      result.seconds > 0 ? static_cast<double>(result.total_ops) / result.seconds : 0;
-  return result;
+  CacheWorkloadResult out;
+  out.seconds = result.seconds;
+  out.total_ops = result.total_ops;
+  out.get_hits = static_cast<std::uint64_t>(result.MetricOr("get_hits"));
+  out.evictions = static_cast<std::uint64_t>(result.MetricOr("evictions"));
+  out.final_size = static_cast<std::size_t>(result.MetricOr("size"));
+  out.ops_per_s = result.ops_per_s;
+  return out;
 }
 
 }  // namespace lockin

@@ -1,17 +1,21 @@
-// Native multi-threaded workload driver over MemCache.
+// Legacy entry point for the native MemCache workload, now a thin wrapper
+// over the unified scenario API (src/systems/workload_api.hpp).
 //
 // The Memcached-shape experiment the paper runs in Figures 13-14 (GET- vs
-// SET-heavy mixes over a striped cache with a global LRU lock), runnable on
-// the host against the real lock library. Shared by examples/cache_server,
-// the fig13 bench's native section, and bench/bench_native_perf (which
-// tracks Mops/s per LRU mode in BENCH_native.json).
+// SET-heavy mixes over a striped cache with a global LRU lock). Kept so the
+// fig13 native section and bench/bench_native_perf's MemCache rows retain
+// their pre-API configuration surface (explicit shards/capacity/LRU mode)
+// and numbers; new code should run the registered "cache/*" scenarios
+// through RunScenarioByName instead.
 #ifndef SRC_SYSTEMS_CACHE_WORKLOAD_HPP_
 #define SRC_SYSTEMS_CACHE_WORKLOAD_HPP_
 
 #include <cstdint>
 #include <string>
 
+#include "src/platform/rng.hpp"
 #include "src/systems/cache.hpp"
+#include "src/systems/workload_api.hpp"
 
 namespace lockin {
 
@@ -39,10 +43,15 @@ struct CacheWorkloadResult {
   double MopsPerS() const { return ops_per_s / 1e6; }
 };
 
-// Approximate Zipf used by the skewed key pick: 80% of accesses hit 20% of
-// the key space, recursively.
-std::uint64_t SkewedCacheKey(class Xoshiro256* rng, std::uint64_t space);
+// Compatibility alias for the skewed key pick, which migrated into the
+// scenario API as SkewedKey (with src/platform/rng.hpp included properly
+// instead of the old in-signature `class Xoshiro256*` forward declaration).
+inline std::uint64_t SkewedCacheKey(Xoshiro256* rng, std::uint64_t space) {
+  return SkewedKey(rng, space);
+}
 
+// Runs the cache scenario through the shared scenario driver (latency
+// recording off, matching the pre-API driver's measured loop).
 CacheWorkloadResult RunCacheWorkload(const CacheWorkloadConfig& config);
 
 }  // namespace lockin

@@ -1,0 +1,71 @@
+// Internal plumbing for the built-in scenarios (src/systems/scenarios/*).
+//
+// Each mini-system contributes one translation unit of ScenarioWorkload
+// adapters plus a Register*Scenarios function; ScenarioRegistry::Instance()
+// calls every function below, which both populates the registry and keeps
+// the linker from dropping the adapter TUs out of the static library.
+// Scenario implementations and their mix defaults live in the .cpp files;
+// only CacheScenario is declared here because the legacy RunCacheWorkload
+// wrapper (src/systems/cache_workload.cpp) and tests construct it directly
+// with non-registry shard/capacity parameters.
+#ifndef SRC_SYSTEMS_SCENARIOS_SCENARIO_DEFS_HPP_
+#define SRC_SYSTEMS_SCENARIOS_SCENARIO_DEFS_HPP_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/systems/cache.hpp"
+#include "src/systems/workload_api.hpp"
+
+namespace lockin {
+
+void RegisterKvStoreScenarios(ScenarioRegistry& registry);
+void RegisterCacheScenarios(ScenarioRegistry& registry);
+void RegisterNosqlScenarios(ScenarioRegistry& registry);
+void RegisterGraphScenarios(ScenarioRegistry& registry);
+void RegisterMiniSqlScenarios(ScenarioRegistry& registry);
+void RegisterWalStoreScenarios(ScenarioRegistry& registry);
+void RegisterCowListScenarios(ScenarioRegistry& registry);
+
+// Formats "<prefix><n>" into *out without a std::to_string temporary; with
+// a warm capacity this performs no allocation (the hot-path idiom the cache
+// driver established).
+inline void AssignKey(std::string* out, char prefix, std::uint64_t n) {
+  char buf[32];
+  const int len =
+      std::snprintf(buf, sizeof buf, "%c%llu", prefix, static_cast<unsigned long long>(n));
+  out->assign(buf, static_cast<std::size_t>(len));
+}
+
+// The Memcached-shape scenario (skewed GET/SET mix over MemCache). Declared
+// here so RunCacheWorkload can construct it with explicit shard/capacity/
+// LRU-mode parameters; the registry bakes the paper-shape defaults.
+class CacheScenario final : public ScenarioWorkload {
+ public:
+  struct Params {
+    int get_percent = 50;  // rest are SETs
+    std::size_t shards = 16;
+    std::size_t capacity = 50000;
+    std::uint64_t key_space = 60000;
+    MemCache::LruMode lru_mode = MemCache::LruMode::kGlobalLock;
+  };
+
+  explicit CacheScenario(Params params) : params_(params) {}
+
+  void Setup(const ScenarioConfig& config) override;
+  std::vector<std::string> CounterNames() const override;
+  void Op(ThreadContext& ctx) override;
+  void AddSystemMetrics(std::vector<ScenarioMetric>* out) const override;
+
+ private:
+  Params params_;
+  int get_percent_ = 50;
+  std::uint64_t key_space_ = 0;
+  std::unique_ptr<MemCache> cache_;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_SYSTEMS_SCENARIOS_SCENARIO_DEFS_HPP_

@@ -1,0 +1,254 @@
+#include "src/systems/workload_api.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/platform/cacheline.hpp"
+#include "src/platform/cycles.hpp"
+#include "src/platform/spin_hint.hpp"
+#include "src/systems/scenarios/scenario_defs.hpp"
+
+namespace lockin {
+namespace {
+
+// Per-worker hot state, one slot per thread -- the same shape as the lock
+// harness's WorkerSlot (src/locks/harness.cpp): everything a worker writes
+// per op (op counter, counters, latency batch) lives in its own slot, each
+// slot starting on a cache-line boundary and spanning whole lines, so the
+// measured loop shares no written line across threads and the driver itself
+// performs no per-op heap allocation. (ThreadContext's scratch strings own
+// heap blocks, but those are per-thread and stop reallocating once warm.)
+struct alignas(kCacheLineSize) WorkerSlot {
+  static constexpr std::size_t kLatencyBatch = 64;
+
+  explicit WorkerSlot(std::uint64_t rng_seed) : ctx(rng_seed) {}
+
+  ThreadContext ctx;
+  std::uint32_t pending = 0;  // buffered samples not yet in the histogram
+  LatencyHistogram latency;
+  std::uint64_t samples[kLatencyBatch];
+  std::uint64_t counters[ScenarioWorkload::kMaxCounters] = {};
+};
+static_assert(alignof(WorkerSlot) == kCacheLineSize,
+              "worker slots must start on a cache-line boundary");
+static_assert(sizeof(WorkerSlot) % kCacheLineSize == 0,
+              "worker slots must span whole cache lines so adjacent slots "
+              "never share one (false-sharing regression guard)");
+
+// One operation with op counting and optional batched latency recording
+// wrapped around it.
+inline void DoOneOp(ScenarioWorkload& workload, WorkerSlot& slot, bool record) {
+  if (record) {
+    const std::uint64_t before = ReadCycles();
+    workload.Op(slot.ctx);
+    slot.samples[slot.pending] = ReadCycles() - before;
+    if (++slot.pending == WorkerSlot::kLatencyBatch) {
+      slot.latency.RecordBatch(slot.samples, slot.pending);
+      slot.pending = 0;
+    }
+  } else {
+    workload.Op(slot.ctx);
+  }
+  ++slot.ctx.op_index;
+}
+
+void WorkerBody(ScenarioWorkload& workload, const ScenarioConfig& config, WorkerSlot& slot,
+                const std::atomic<bool>& start_flag, const std::atomic<bool>& stop_flag) {
+  // Bind the counter slots here rather than in the constructor: the slots
+  // vector may move its elements while being filled.
+  slot.ctx.counters = slot.counters;
+  while (!start_flag.load(std::memory_order_acquire)) {
+    SpinPause(PauseKind::kYield);
+  }
+  const bool record = config.record_latency;
+  if (config.duration_ms == 0) {
+    // Fixed-op mode: deterministic for a fixed seed.
+    for (int i = 0; i < config.ops_per_thread; ++i) {
+      DoOneOp(workload, slot, record);
+    }
+  } else {
+    // Time-bounded mode: the stop flag is the only cross-thread line the
+    // loop reads, polled once per `stop_check_every` ops.
+    const std::uint32_t cadence = config.stop_check_every == 0 ? 1 : config.stop_check_every;
+    std::uint32_t countdown = 0;
+    for (;;) {
+      if (countdown == 0) {
+        if (stop_flag.load(std::memory_order_relaxed)) {
+          break;
+        }
+        countdown = cadence;
+      }
+      --countdown;
+      DoOneOp(workload, slot, record);
+    }
+  }
+  if (slot.pending != 0) {
+    slot.latency.RecordBatch(slot.samples, slot.pending);
+    slot.pending = 0;
+  }
+}
+
+}  // namespace
+
+double ScenarioResult::MetricOr(const std::string& name, double fallback) const {
+  for (const ScenarioMetric& metric : metrics) {
+    if (metric.name == name) {
+      return metric.value;
+    }
+  }
+  return fallback;
+}
+
+ScenarioResult RunScenario(ScenarioWorkload& workload, const ScenarioConfig& config,
+                           const std::string& scenario_name) {
+  const std::vector<std::string> counter_names = workload.CounterNames();
+  if (counter_names.size() > ScenarioWorkload::kMaxCounters) {
+    throw std::invalid_argument("scenario declares more than kMaxCounters counters: " +
+                                scenario_name);
+  }
+  workload.Setup(config);
+
+  std::atomic<bool> start_flag{false};
+  std::atomic<bool> stop_flag{false};
+  std::vector<WorkerSlot> slots;
+  slots.reserve(static_cast<std::size_t>(config.threads));
+  for (int t = 0; t < config.threads; ++t) {
+    // Same per-thread seeding the pre-API cache driver used, so seeded runs
+    // (and fig13's native rows) carry over unchanged.
+    slots.emplace_back(config.seed + static_cast<std::uint64_t>(t) * 7 + 1);
+    slots.back().ctx.thread_index = t;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(config.threads));
+  for (int t = 0; t < config.threads; ++t) {
+    WorkerSlot& slot = slots[static_cast<std::size_t>(t)];
+    workers.emplace_back(
+        [&, &slot = slot] { WorkerBody(workload, config, slot, start_flag, stop_flag); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  start_flag.store(true, std::memory_order_release);
+  if (config.duration_ms != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config.duration_ms));
+    stop_flag.store(true, std::memory_order_release);
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ScenarioResult result;
+  result.scenario = scenario_name;
+  result.lock_name = config.lock_name;
+  result.threads = config.threads;
+  result.seconds = std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  std::vector<std::uint64_t> counter_sums(counter_names.size(), 0);
+  for (const WorkerSlot& slot : slots) {
+    result.total_ops += slot.ctx.op_index;
+    result.op_latency_cycles.Merge(slot.latency);
+    for (std::size_t c = 0; c < counter_sums.size(); ++c) {
+      counter_sums[c] += slot.counters[c];
+    }
+  }
+  result.ops_per_s =
+      result.seconds > 0 ? static_cast<double>(result.total_ops) / result.seconds : 0;
+  result.metrics.reserve(counter_names.size());
+  for (std::size_t c = 0; c < counter_names.size(); ++c) {
+    result.metrics.push_back({counter_names[c], static_cast<double>(counter_sums[c])});
+  }
+  workload.AddSystemMetrics(&result.metrics);
+  return result;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+ScenarioRegistry& ScenarioRegistry::Instance() {
+  // Built-ins are registered through explicit per-system functions (declared
+  // in scenarios/scenario_defs.hpp) instead of static registrar objects:
+  // lockin is a static library, and the linker would drop a scenario
+  // translation unit nothing references, silently emptying the registry.
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    RegisterKvStoreScenarios(*r);
+    RegisterCacheScenarios(*r);
+    RegisterNosqlScenarios(*r);
+    RegisterGraphScenarios(*r);
+    RegisterMiniSqlScenarios(*r);
+    RegisterWalStoreScenarios(*r);
+    RegisterCowListScenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::Register(ScenarioInfo info, Factory factory) {
+  if (Find(info.name) != nullptr) {
+    throw std::invalid_argument("duplicate scenario name: " + info.name);
+  }
+  entries_.push_back({std::move(info), std::move(factory)});
+}
+
+std::vector<ScenarioInfo> ScenarioRegistry::List() const {
+  std::vector<ScenarioInfo> infos;
+  infos.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    infos.push_back(entry.info);
+  }
+  return infos;
+}
+
+const ScenarioInfo* ScenarioRegistry::Find(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.info.name == name) {
+      return &entry.info;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ScenarioWorkload> ScenarioRegistry::Make(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.info.name == name) {
+      return entry.factory();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<ScenarioInfo> RegisteredScenarios() { return ScenarioRegistry::Instance().List(); }
+
+std::unique_ptr<ScenarioWorkload> MakeScenario(const std::string& name) {
+  return ScenarioRegistry::Instance().Make(name);
+}
+
+std::unique_ptr<ScenarioWorkload> MakeScenarioOrThrow(const std::string& name) {
+  std::unique_ptr<ScenarioWorkload> workload = MakeScenario(name);
+  if (workload == nullptr) {
+    throw std::invalid_argument("unknown scenario: " + name);
+  }
+  return workload;
+}
+
+ScenarioResult RunScenarioByName(const std::string& name, const ScenarioConfig& config) {
+  const std::unique_ptr<ScenarioWorkload> workload = MakeScenarioOrThrow(name);
+  return RunScenario(*workload, config, name);
+}
+
+std::uint64_t SkewedKey(Xoshiro256* rng, std::uint64_t space) {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = space;
+  for (int level = 0; level < 4 && hi - lo > 16; ++level) {
+    if (rng->NextDouble() < 0.8) {
+      hi = lo + (hi - lo) / 5;
+    } else {
+      lo = lo + (hi - lo) / 5;
+    }
+  }
+  return lo + rng->NextBelow(hi - lo + 1);
+}
+
+}  // namespace lockin

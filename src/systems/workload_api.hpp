@@ -1,0 +1,189 @@
+// Unified native scenario API: one shared multi-threaded workload driver
+// for every mini-system in src/systems, every registered lock, every mix.
+//
+// The paper's core experiment swaps lock algorithms under six unmodified
+// systems ("we do not modify anything else other than the pthread locks",
+// section 6). This layer is that experiment as an API: each mini-system
+// adapts to the ScenarioWorkload interface (Setup once, Op per thread,
+// counters), the ScenarioRegistry names the interesting system x mix points
+// ("kvstore/WT", "cache/set-heavy", "minisql/neworder", ...), and one
+// shared driver -- the native harness's machinery (cache-line-aligned
+// worker slots, batched latency recording, stop-flag cadence, zero per-op
+// allocation in the driver itself) -- runs any scenario under any lock
+// name, including ADAPTIVE. Consumers: examples/scenario_runner (CLI),
+// examples/kvstore_app and examples/cache_server (thin wrappers), fig13's
+// native section, and bench/bench_native_perf's per-scenario section in
+// BENCH_native.json. New systems plug in by registering a scenario; they
+// inherit the driver, the CLI, the bench trajectory and the tests.
+//
+// (The adapter interface is the "SystemWorkload" of the scenario layer but
+// is named ScenarioWorkload: lockin::SystemWorkload already names the
+// simulator's Table 3 profiles in src/sim/sysmodel.hpp, and several benches
+// include both layers.)
+#ifndef SRC_SYSTEMS_WORKLOAD_API_HPP_
+#define SRC_SYSTEMS_WORKLOAD_API_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/platform/rng.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/systems/common.hpp"
+
+namespace lockin {
+
+// One scenario run: which lock, how many threads, how long, which mix.
+// Scenario-agnostic; each scenario maps the generic knobs onto its own
+// operation mix and key space (see the registry descriptions).
+struct ScenarioConfig {
+  std::string lock_name = "MUTEX";
+  int threads = 4;
+
+  // Fixed-op mode (the default): every thread performs exactly
+  // ops_per_thread operations, so a seeded single-threaded run is
+  // deterministic (the registry tests rely on this). When duration_ms > 0
+  // the run is time-bounded instead: workers loop until the stop flag,
+  // polled every stop_check_every ops (one shared cache line kept out of
+  // the per-op path, like the lock harness), and ops_per_thread is ignored.
+  int ops_per_thread = 40000;
+  std::uint64_t duration_ms = 0;
+  std::uint32_t stop_check_every = 32;
+
+  // Mix knobs. read_percent < 0 keeps the scenario's registered default
+  // mix; key_space = 0 keeps its default key space / data-set size.
+  int read_percent = -1;
+  std::uint64_t key_space = 0;
+
+  std::uint64_t seed = 1;
+  std::uint32_t yield_after = 256;  // spinlock oversubscription escape hatch
+  bool record_latency = true;       // batched per-op rdtsc histogram
+
+  // The lock factory every scenario builds its system with (the paper's
+  // "swap the pthread locks" point). Throws std::invalid_argument for
+  // unknown names, at Setup time.
+  LockFactory MakeLockFactory() const { return NamedLockFactory(lock_name, yield_after); }
+};
+
+struct ScenarioMetric {
+  std::string name;
+  double value = 0;
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  std::string lock_name;
+  int threads = 0;
+  double seconds = 0;
+  std::uint64_t total_ops = 0;
+  double ops_per_s = 0;
+  LatencyHistogram op_latency_cycles;  // empty unless config.record_latency
+  // Summed per-thread counters (in CounterNames() order) followed by the
+  // scenario's system-level metrics (sizes, evictions, WAL records, ...).
+  std::vector<ScenarioMetric> metrics;
+
+  double MopsPerS() const { return ops_per_s / 1e6; }
+  // Named metric lookup; `fallback` when the scenario does not report it.
+  double MetricOr(const std::string& name, double fallback = 0) const;
+};
+
+// Per-thread state the driver hands to ScenarioWorkload::Op. Lives inside a
+// cache-line-aligned worker slot: nothing here is written by another thread.
+struct ThreadContext {
+  explicit ThreadContext(std::uint64_t rng_seed) : rng(rng_seed) {}
+
+  int thread_index = 0;
+  std::uint64_t op_index = 0;  // ops this thread has completed so far
+  Xoshiro256 rng;
+  // One slot per CounterNames() entry; summed across threads after the run.
+  std::uint64_t* counters = nullptr;
+  // Scratch buffers Op implementations reuse so key/value formatting stops
+  // allocating once the strings' capacity is warm.
+  std::string key;
+  std::string value;
+};
+
+// What a mini-system implements to become runnable by the shared driver.
+class ScenarioWorkload {
+ public:
+  // Upper bound on CounterNames().size(): the driver keeps the counters
+  // inline in the per-thread slot so incrementing one never allocates or
+  // shares a cache line.
+  static constexpr std::size_t kMaxCounters = 8;
+
+  virtual ~ScenarioWorkload() = default;
+
+  // Builds the system (locks via config.MakeLockFactory()) and preloads it.
+  // Called once, single-threaded, before the workers start; must leave the
+  // workload ready for config.threads concurrent Op callers.
+  virtual void Setup(const ScenarioConfig& config) = 0;
+
+  // Names of the per-thread counters, at most kMaxCounters. The order fixes
+  // the ThreadContext::counters indices.
+  virtual std::vector<std::string> CounterNames() const { return {}; }
+
+  // One operation, called concurrently from every worker thread. The driver
+  // wraps it with op counting and (optionally) latency recording.
+  virtual void Op(ThreadContext& ctx) = 0;
+
+  // Post-run, single-threaded: appends system-level metrics after the
+  // summed thread counters.
+  virtual void AddSystemMetrics(std::vector<ScenarioMetric>* out) const { (void)out; }
+};
+
+// Runs `workload` under `config` on the shared driver. `scenario_name` is
+// carried into the result for labeling only.
+ScenarioResult RunScenario(ScenarioWorkload& workload, const ScenarioConfig& config,
+                           const std::string& scenario_name = "");
+
+// --- Scenario registry -------------------------------------------------------
+
+struct ScenarioInfo {
+  std::string name;         // "kvstore/WT"
+  std::string system;       // mini-system / paper Table 3 target
+  std::string description;  // one line, shown by scenario_runner --list
+};
+
+class ScenarioRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ScenarioWorkload>()>;
+
+  // The process-wide registry, populated with every built-in scenario on
+  // first use. Registration is not thread-safe; register at startup.
+  static ScenarioRegistry& Instance();
+
+  void Register(ScenarioInfo info, Factory factory);
+
+  std::vector<ScenarioInfo> List() const;  // registration order
+  const ScenarioInfo* Find(const std::string& name) const;  // nullptr unknown
+  std::unique_ptr<ScenarioWorkload> Make(const std::string& name) const;  // nullptr unknown
+
+ private:
+  struct Entry {
+    ScenarioInfo info;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Conveniences over Instance(), mirroring the lock registry's unknown-name
+// contract (src/locks/lock_registry.hpp): MakeScenario returns nullptr for
+// unknown names, MakeScenarioOrThrow raises std::invalid_argument naming
+// the offender.
+std::vector<ScenarioInfo> RegisteredScenarios();
+std::unique_ptr<ScenarioWorkload> MakeScenario(const std::string& name);
+std::unique_ptr<ScenarioWorkload> MakeScenarioOrThrow(const std::string& name);
+
+// MakeScenarioOrThrow + RunScenario in one call.
+ScenarioResult RunScenarioByName(const std::string& name, const ScenarioConfig& config);
+
+// Approximate Zipf key pick shared by the scenario mixes: 80% of accesses
+// hit 20% of the key space, recursively. (Migrated from cache_workload,
+// where it was SkewedCacheKey.)
+std::uint64_t SkewedKey(Xoshiro256* rng, std::uint64_t space);
+
+}  // namespace lockin
+
+#endif  // SRC_SYSTEMS_WORKLOAD_API_HPP_

@@ -252,5 +252,40 @@ TEST(Table, FormatDoublePrecision) {
   EXPECT_EQ(FormatDouble(2.0, 0), "2");
 }
 
+TEST(Table, JsonQuotesStringsAndUnquotesNumbers) {
+  TextTable table({"name", "value"});
+  table.AddRow({"x", "1.5"});
+  std::ostringstream out;
+  table.PrintJson(out);
+  EXPECT_EQ(out.str(), "[\n  {\"name\": \"x\", \"value\": 1.5}\n]\n");
+}
+
+TEST(Table, JsonEscapesControlCharacters) {
+  // Control characters must round-trip as proper JSON escapes, not be
+  // flattened to spaces (which silently corrupted cell contents).
+  TextTable table({"cell"});
+  table.AddRow({std::string("a\nb\tc\rd\be\ff") + '\x01' + "g"});
+  std::ostringstream out;
+  table.PrintJson(out);
+  EXPECT_NE(out.str().find("\"a\\nb\\tc\\rd\\be\\ff\\u0001g\""), std::string::npos)
+      << out.str();
+}
+
+TEST(Table, JsonEscapesQuotesAndBackslashes) {
+  TextTable table({"cell"});
+  table.AddRow({"say \"hi\" \\ bye"});
+  std::ostringstream out;
+  table.PrintJson(out);
+  EXPECT_NE(out.str().find("\"say \\\"hi\\\" \\\\ bye\""), std::string::npos) << out.str();
+}
+
+TEST(Table, JsonDeduplicatesRepeatedHeaders) {
+  TextTable table({"paper", "paper"});
+  table.AddRow({"1", "2"});
+  std::ostringstream out;
+  table.PrintJson(out);
+  EXPECT_NE(out.str().find("\"paper_2\": 2"), std::string::npos) << out.str();
+}
+
 }  // namespace
 }  // namespace lockin
