@@ -185,12 +185,18 @@ struct ScenarioRow {
   std::string system;
   double mops = 0;
   double p99_cycles = 0;
+  double joules = 0;
+  double avg_watts = 0;
+  double tpp = 0;  // ops/Joule via the meter fallback chain (RAPL -> model)
+  std::string meter;
 };
 
 // One run per registered scenario through the unified driver, using the
 // lock/threads resolved once in main (the same values label the table and
 // the JSON record). Per-op latency recording stays on here (unlike the
-// legacy cache rows): the p99 is part of the tracked trajectory.
+// legacy cache rows): the p99 is part of the tracked trajectory. The driver
+// attaches the default meter chain, so every row also carries joules/TPP --
+// RAPL numbers on permitted hosts, calibrated-model numbers elsewhere.
 std::vector<ScenarioRow> MeasureScenarios(const BenchOptions& options,
                                           const std::string& lock, int threads) {
   ScenarioConfig config;
@@ -204,7 +210,9 @@ std::vector<ScenarioRow> MeasureScenarios(const BenchOptions& options,
     }
     const ScenarioResult result = RunScenarioByName(info.name, config);
     rows.push_back({info.name, info.system, result.MopsPerS(),
-                    static_cast<double>(result.op_latency_cycles.P99())});
+                    static_cast<double>(result.op_latency_cycles.P99()),
+                    result.energy.total_joules(), result.AvgWatts(), result.Tpp(),
+                    result.meter_name});
   }
   return rows;
 }
@@ -284,14 +292,16 @@ int main(int argc, char** argv) {
   const int scenario_threads = options.threads > 0 ? options.threads : 4;
   const std::vector<ScenarioRow> scenario_rows =
       MeasureScenarios(options, scenario_lock, scenario_threads);
-  TextTable scenario_table({"scenario", "system", "Mops/s", "op_p99_kcycles"});
+  TextTable scenario_table({"scenario", "system", "Mops/s", "op_p99_kcycles", "joules",
+                            "TPP(op/J)", "meter"});
   for (const ScenarioRow& row : scenario_rows) {
     scenario_table.AddRow({row.name, row.system, FormatDouble(row.mops, 3),
-                           FormatDouble(row.p99_cycles / 1e3, 1)});
+                           FormatDouble(row.p99_cycles / 1e3, 1), FormatDouble(row.joules, 3),
+                           FormatDouble(row.tpp, 0), row.meter});
   }
   EmitTable(scenario_table, options,
             "Registered scenarios via the unified native driver (" + scenario_lock + ", " +
-                std::to_string(scenario_threads) + " threads)");
+                std::to_string(scenario_threads) + " threads; energy via RAPL-or-model chain)");
 
   // --- Machine-readable trajectory record ----------------------------------
   std::ofstream json("BENCH_native.json");
@@ -328,7 +338,21 @@ int main(int argc, char** argv) {
     const ScenarioRow& row = scenario_rows[i];
     json << "    {\"name\": \"" << row.name << "\", \"system\": \"" << row.system
          << "\", \"mops\": " << FormatDouble(row.mops, 4)
-         << ", \"op_p99_cycles\": " << FormatDouble(row.p99_cycles, 0) << "}"
+         << ", \"op_p99_cycles\": " << FormatDouble(row.p99_cycles, 0)
+         << ", \"joules\": " << FormatDouble(row.joules, 6)
+         << ", \"tpp\": " << FormatDouble(row.tpp, 3)
+         << ", \"meter\": \"" << row.meter << "\"}"
+         << (i + 1 < scenario_rows.size() ? "," : "") << "\n";
+  }
+  // LockScope trajectory section: the paper's efficiency metric (TPP,
+  // ops/Joule) per scenario, from the same runs as the scenarios array.
+  json << "  ],\n"
+       << "  \"scenario_tpp\": [\n";
+  for (std::size_t i = 0; i < scenario_rows.size(); ++i) {
+    const ScenarioRow& row = scenario_rows[i];
+    json << "    {\"name\": \"" << row.name << "\", \"tpp\": " << FormatDouble(row.tpp, 3)
+         << ", \"avg_watts\": " << FormatDouble(row.avg_watts, 3)
+         << ", \"meter\": \"" << row.meter << "\"}"
          << (i + 1 < scenario_rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

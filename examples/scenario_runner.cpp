@@ -19,16 +19,31 @@
 //   --key-space N     override the scenario's default key space
 //   --json            machine-readable output (one JSON object per run)
 //   --quick           short run (CI smoke)
+//
+// LockScope observability flags:
+//   --trace FILE      capture lock/futex/epoch events and write a Chrome
+//                     trace-event JSON (load in ui.perfetto.dev); single
+//                     scenario x lock only
+//   --metrics         print the process MetricsRegistry as flat JSON after
+//                     the runs
+//   --meter MODE      energy meter: auto (RAPL else model; default),
+//                     model, off
+//   --sample-ms N     sample the meter every N ms into an energy series
+//                     (and a watts counter track when tracing)
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/locks/lock_registry.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/platform/cycles.hpp"
 #include "src/stats/table.hpp"
 #include "src/systems/workload_api.hpp"
 
@@ -49,13 +64,18 @@ struct RunnerOptions {
   std::uint64_t seed = 1;
   int read_percent = -1;
   std::uint64_t key_space = 0;
+  std::string trace_path;
+  bool metrics = false;
+  std::string meter = "auto";
+  long sample_ms = 0;
 };
 
 void PrintUsage(const char* prog, std::FILE* out) {
   std::fprintf(out,
                "usage: %s --list | --scenario NAME | --all [options]\n"
                "  --lock NAME|all  --threads N  --ops N  --seconds S  --seed N\n"
-               "  --read-percent P  --key-space N  --json  --quick\n",
+               "  --read-percent P  --key-space N  --json  --quick\n"
+               "  --trace FILE  --metrics  --meter auto|model|off  --sample-ms N\n",
                prog);
 }
 
@@ -119,6 +139,17 @@ RunnerOptions ParseArgs(int argc, char** argv) {
       options.read_percent = static_cast<int>(int_of(i, "--read-percent", 0, 100));
     } else if (std::strcmp(argv[i], "--key-space") == 0) {
       options.key_space = static_cast<std::uint64_t>(int_of(i, "--key-space", 1, 1000000000));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      options.trace_path = value_of(i, "--trace");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      options.metrics = true;
+    } else if (std::strcmp(argv[i], "--meter") == 0) {
+      options.meter = value_of(i, "--meter");
+      if (options.meter != "auto" && options.meter != "model" && options.meter != "off") {
+        Fail(argv[0], "invalid --meter value: " + options.meter + " (auto|model|off)");
+      }
+    } else if (std::strcmp(argv[i], "--sample-ms") == 0) {
+      options.sample_ms = int_of(i, "--sample-ms", 1, 60000);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintUsage(argv[0], stdout);
       std::exit(0);
@@ -147,10 +178,18 @@ void EmitJson(const ScenarioResult& r, bool record_latency) {
               r.scenario.c_str(), r.lock_name.c_str(), r.threads, r.seconds,
               static_cast<unsigned long long>(r.total_ops), r.ops_per_s);
   if (record_latency) {
+    // Cycles stay the JSON unit (bit-stable across hosts whose TSC
+    // calibration drifts); the human-readable table converts to ns.
     std::printf(", \"op_p50_cycles\": %llu, \"op_p99_cycles\": %llu, \"op_max_cycles\": %llu",
                 static_cast<unsigned long long>(r.op_latency_cycles.P50()),
                 static_cast<unsigned long long>(r.op_latency_cycles.P99()),
                 static_cast<unsigned long long>(r.op_latency_cycles.max()));
+  }
+  if (!r.meter_name.empty()) {
+    // Dedicated fields, not scenario metrics: the metrics below print with
+    // %.0f (they are counters) and sub-Joule values would truncate to 0.
+    std::printf(", \"meter\": \"%s\", \"joules\": %.6f, \"avg_watts\": %.3f, \"tpp\": %.3f",
+                r.meter_name.c_str(), r.energy.total_joules(), r.AvgWatts(), r.Tpp());
   }
   for (const ScenarioMetric& metric : r.metrics) {
     std::printf(", \"%s\": %.0f", metric.name.c_str(), metric.value);
@@ -223,8 +262,20 @@ int main(int argc, char** argv) {
   config.seed = options.seed;
   config.read_percent = options.read_percent;
   config.key_space = options.key_space;
+  config.trace = !options.trace_path.empty();
+  config.meter = options.meter == "off"     ? MeterChoice::kOff
+                 : options.meter == "model" ? MeterChoice::kModel
+                                            : MeterChoice::kAuto;
+  config.energy_sample_ms = static_cast<std::uint32_t>(options.sample_ms);
 
-  TextTable table({"scenario", "lock", "threads", "Mops/s", "p99_kcycles", "metrics"});
+  if (config.trace && scenario_names.size() * lock_names.size() != 1) {
+    Fail(argv[0], "--trace captures one run; pick a single --scenario and --lock");
+  }
+
+  // Table latencies in nanoseconds via the calibrated cycle counter
+  // (src/platform/cycles.hpp); --json keeps raw cycles.
+  TextTable table({"scenario", "lock", "threads", "Mops/s", "p50_ns", "p99_ns", "joules",
+                   "TPP(op/J)", "metrics"});
   for (const std::string& scenario : scenario_names) {
     for (const std::string& lock : lock_names) {
       config.lock_name = lock;
@@ -241,13 +292,36 @@ int main(int argc, char** argv) {
       } else {
         table.AddRow({scenario, lock, std::to_string(result.threads),
                       FormatDouble(result.MopsPerS(), 3),
-                      FormatDouble(static_cast<double>(result.op_latency_cycles.P99()) / 1e3, 1),
-                      MetricsToString(result)});
+                      FormatDouble(CyclesToNs(result.op_latency_cycles.P50()), 0),
+                      FormatDouble(CyclesToNs(result.op_latency_cycles.P99()), 0),
+                      FormatDouble(result.energy.total_joules(), 3),
+                      FormatDouble(result.Tpp(), 0), MetricsToString(result)});
       }
     }
   }
   if (!options.json) {
     table.Print(std::cout);
+  }
+
+  if (config.trace) {
+    std::ofstream out(options.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot open trace file: %s\n", argv[0],
+                   options.trace_path.c_str());
+      return 1;
+    }
+    ChromeTraceOptions trace_options;
+    trace_options.cycles_per_us = CyclesPerNs() * 1000.0;
+    trace_options.process_name =
+        "scenario_runner " + scenario_names.front() + " / " + lock_names.front();
+    TraceSession& session = TraceSession::Instance();
+    const std::vector<TraceEvent> events = session.Collect();
+    WriteChromeTrace(out, events, trace_options);
+    std::fprintf(stderr, "trace: %zu events -> %s (%llu dropped)\n", events.size(),
+                 options.trace_path.c_str(), static_cast<unsigned long long>(session.dropped()));
+  }
+  if (options.metrics) {
+    MetricsRegistry::Instance().WriteJson(std::cout);
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "src/adaptive/adaptive_lock.hpp"
 
+#include "src/obs/trace.hpp"
 #include "src/platform/cycles.hpp"
 
 namespace lockin {
@@ -136,6 +137,10 @@ void AdaptiveLock::OwnerEpochMaintenance() {
     // validates after this store validates against `next`.
     current_.store(next, std::memory_order_release);
     switches_.fetch_add(1, std::memory_order_relaxed);
+    // LockScope: epoch switches are rare (once per epoch at most) and
+    // already on the owner's maintenance path, so the emit costs nothing
+    // measurable. arg = the backend we switched *to*.
+    TraceEmit(TraceEventKind::kEpochSwitch, static_cast<std::uint32_t>(next));
   }
 }
 

@@ -1,5 +1,7 @@
 #include "src/energy/model_meter.hpp"
 
+#include <cstdio>
+
 #include "src/energy/rapl_meter.hpp"
 
 namespace lockin {
@@ -59,6 +61,19 @@ std::unique_ptr<EnergyMeter> MakeDefaultMeter(std::shared_ptr<ActivityRegistry> 
   if (RaplMeter::Available()) {
     return std::make_unique<RaplMeter>();
   }
+  // Graceful degradation, explained once per process: powercap nodes that
+  // exist but are root-only are the usual unprivileged-host case, and a
+  // silent model fallback there would look like "RAPL numbers" to a reader
+  // of the output.
+  static const bool logged = [] {
+    if (RaplMeter::PowercapPresent()) {
+      std::fprintf(stderr,
+                   "lockin: powercap sysfs is present but no RAPL domain is readable "
+                   "(usually needs root); falling back to the model energy meter\n");
+    }
+    return true;
+  }();
+  (void)logged;
   if (registry != nullptr) {
     return std::make_unique<ModelMeter>(std::move(registry));
   }

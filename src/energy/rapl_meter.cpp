@@ -1,5 +1,7 @@
 #include "src/energy/rapl_meter.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -17,14 +19,29 @@ std::string ReadLine(const std::string& path) {
   return line;
 }
 
+// Sysfs reads can yield empty or non-numeric text (permission-restricted
+// files, hardware quirks). Parse defensively instead of std::stoull, which
+// throws and would take the whole benchmark down over a bad counter file.
+bool ParseCounter(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno == ERANGE) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 std::uint64_t RaplMeter::ReadCounter(const std::string& path) {
-  const std::string text = ReadLine(path);
-  if (text.empty()) {
-    return 0;
-  }
-  return std::stoull(text);
+  std::uint64_t value = 0;
+  ParseCounter(ReadLine(path), &value);
+  return value;  // 0 on unreadable/garbage; Stop() then reports 0 joules
 }
 
 std::vector<RaplMeter::Domain> RaplMeter::DiscoverDomains() {
@@ -40,14 +57,17 @@ std::vector<RaplMeter::Domain> RaplMeter::DiscoverDomains() {
       continue;
     }
     const std::string energy_path = entry.path().string() + "/energy_uj";
-    std::ifstream probe(energy_path);
-    if (!probe) {
-      continue;  // often root-only; skip unreadable domains
+    // A domain counts as usable only if energy_uj opens AND parses as a
+    // number: powercap being *present* but root-only (open fails, or opens
+    // and reads empty) is the common unprivileged-host case, and such
+    // domains must not make Available() claim RAPL works.
+    std::uint64_t probe_value = 0;
+    if (!ParseCounter(ReadLine(energy_path), &probe_value)) {
+      continue;
     }
     Domain d;
     d.energy_path = energy_path;
-    const std::string range = ReadLine(entry.path().string() + "/max_energy_range_uj");
-    d.max_range_uj = range.empty() ? 0 : std::stoull(range);
+    ParseCounter(ReadLine(entry.path().string() + "/max_energy_range_uj"), &d.max_range_uj);
     const std::string domain_name = ReadLine(entry.path().string() + "/name");
     d.is_dram = domain_name.find("dram") != std::string::npos;
     domains.push_back(std::move(d));
@@ -58,6 +78,20 @@ std::vector<RaplMeter::Domain> RaplMeter::DiscoverDomains() {
 bool RaplMeter::Available() {
   for (const Domain& d : DiscoverDomains()) {
     if (!d.is_dram) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RaplMeter::PowercapPresent() {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(kPowercapRoot, ec);
+  if (ec) {
+    return false;
+  }
+  for (const auto& entry : it) {
+    if (entry.path().filename().string().rfind("intel-rapl:", 0) == 0) {
       return true;
     }
   }

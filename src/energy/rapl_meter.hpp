@@ -21,6 +21,11 @@ class RaplMeter : public EnergyMeter {
   // True when at least one package RAPL domain is readable on this host.
   static bool Available();
 
+  // True when powercap RAPL nodes exist at all, readable or not. Together
+  // with !Available() this distinguishes "no RAPL hardware" from "RAPL
+  // present but root-only", so the fallback chain can say why it degraded.
+  static bool PowercapPresent();
+
   RaplMeter();
 
   void Start() override;

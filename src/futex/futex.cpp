@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <ctime>
 
+#include "src/obs/trace.hpp"
+
 namespace lockin {
 namespace {
 
@@ -33,9 +35,17 @@ FutexWaitResult WaitResultFromErrno(long rc) {
 
 }  // namespace
 
+// LockScope hooks live on the raw functions: every sleeping primitive in
+// the library (FutexLock, Mutexee, RwLock, CondVar, the Counted wrappers)
+// funnels through these three, so instrumenting them covers the kernel
+// round-trips everywhere. The emit is one thread-local load + branch next
+// to a syscall, i.e. noise; with no sink installed it is the branch alone.
 FutexWaitResult FutexWait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
+  TraceEmit(TraceEventKind::kFutexSleepBegin, 0);
   const long rc = RawFutex(addr, FUTEX_WAIT_PRIVATE, expected, nullptr);
-  return WaitResultFromErrno(rc);
+  const FutexWaitResult result = WaitResultFromErrno(rc);
+  TraceEmit(TraceEventKind::kFutexSleepEnd, static_cast<std::uint32_t>(result));
+  return result;
 }
 
 FutexWaitResult FutexWaitTimeout(std::atomic<std::uint32_t>* addr, std::uint32_t expected,
@@ -46,13 +56,18 @@ FutexWaitResult FutexWaitTimeout(std::atomic<std::uint32_t>* addr, std::uint32_t
   timespec ts;
   ts.tv_sec = static_cast<time_t>(timeout_ns / 1000000000ULL);
   ts.tv_nsec = static_cast<long>(timeout_ns % 1000000000ULL);
+  TraceEmit(TraceEventKind::kFutexSleepBegin, 0);
   const long rc = RawFutex(addr, FUTEX_WAIT_PRIVATE, expected, &ts);
-  return WaitResultFromErrno(rc);
+  const FutexWaitResult result = WaitResultFromErrno(rc);
+  TraceEmit(TraceEventKind::kFutexSleepEnd, static_cast<std::uint32_t>(result));
+  return result;
 }
 
 int FutexWake(std::atomic<std::uint32_t>* addr, int count) {
   const long rc = RawFutex(addr, FUTEX_WAKE_PRIVATE, static_cast<std::uint32_t>(count), nullptr);
-  return rc < 0 ? 0 : static_cast<int>(rc);
+  const int woken = rc < 0 ? 0 : static_cast<int>(rc);
+  TraceEmit(TraceEventKind::kFutexWake, static_cast<std::uint32_t>(woken));
+  return woken;
 }
 
 FutexWaitResult FutexWaitCounted(std::atomic<std::uint32_t>* addr, std::uint32_t expected,

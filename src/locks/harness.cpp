@@ -43,6 +43,18 @@ static_assert(sizeof(WorkerSlot) % kCacheLineSize == 0,
               "worker slots must span whole cache lines so adjacent slots "
               "never share one (false-sharing regression guard)");
 
+// Zero-cost-when-off fences: with the default NullTracePolicy, TracedLock
+// must add no state (so the traced wrapper can sit in the static-dispatch
+// path without perturbing layout) and the untraced tier below never
+// instantiates it anyway -- the default-config measured loop is the same
+// WorkerLoop<L> symbol as before tracing existed.
+static_assert(sizeof(TracedLock<TasLock>) == sizeof(TasLock),
+              "NullTracePolicy TracedLock must be byte-identical to the bare lock");
+static_assert(sizeof(TracedLock<FutexLock>) == sizeof(FutexLock),
+              "NullTracePolicy TracedLock must be byte-identical to the bare lock");
+static_assert(sizeof(TracedLock<MutexeeLock>) == sizeof(MutexeeLock),
+              "NullTracePolicy TracedLock must be byte-identical to the bare lock");
+
 // The measured loop. `Lock` is either a concrete lock type (static tier:
 // lock()/unlock() inline here) or LockHandle (type-erased tier: two virtual
 // calls per iteration). Everything the loop writes lives in `slot`; the
@@ -118,11 +130,23 @@ NativeBenchResult RunWithLockType(const NativeBenchConfig& config, EnergyMeter* 
     slots.emplace_back(config.seed * 40503 + static_cast<std::uint64_t>(t));
   }
 
+  // Per-worker trace rings, owned by the process session so they survive
+  // the joins below and can be collected/exported by the caller.
+  std::vector<TraceBuffer*> trace_buffers(static_cast<std::size_t>(config.threads), nullptr);
+  if (config.trace) {
+    for (int t = 0; t < config.threads; ++t) {
+      trace_buffers[static_cast<std::size_t>(t)] = TraceSession::Instance().NewBuffer(
+          static_cast<std::uint16_t>(t), config.trace_buffer_events);
+    }
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(config.threads));
   for (int t = 0; t < config.threads; ++t) {
     WorkerSlot& slot = slots[static_cast<std::size_t>(t)];
-    workers.emplace_back([&, &slot = slot, t] {
+    TraceBuffer* trace_buffer = trace_buffers[static_cast<std::size_t>(t)];
+    workers.emplace_back([&, &slot = slot, trace_buffer, t] {
+      ScopedTraceSink sink(trace_buffer);  // null when tracing is off
       if (config.pin_threads && !pinning.empty()) {
         PinThreadToCpu(pinning[static_cast<std::size_t>(t) % pinning.size()].os_cpu);
       }
@@ -166,12 +190,19 @@ NativeBenchResult RunWithLockType(const NativeBenchConfig& config, EnergyMeter* 
 NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* meter) {
   NativeBenchResult result;
   if (config.dispatch != DispatchTier::kTypeErased) {
+    // Traced runs dispatch to TracedLock<L, ThreadTracePolicy>
+    // instantiations; untraced runs use the bare concrete types, so the
+    // default path's codegen is untouched by the tracing layer.
+    auto visit = [&](auto tag, auto&&... args) {
+      using L = typename decltype(tag)::type;
+      result = RunWithLockType<L>(config, meter, [&] { return std::make_unique<L>(args...); });
+      result.used_static_dispatch = true;
+    };
     const bool dispatched =
-        WithConcreteLock(config.lock_name, config.lock_options, [&](auto tag, auto&&... args) {
-          using L = typename decltype(tag)::type;
-          result = RunWithLockType<L>(config, meter, [&] { return std::make_unique<L>(args...); });
-          result.used_static_dispatch = true;
-        });
+        config.trace
+            ? WithConcreteTracedLock<ThreadTracePolicy>(config.lock_name, config.lock_options,
+                                                        visit)
+            : WithConcreteLock(config.lock_name, config.lock_options, visit);
     if (dispatched) {
       return result;
     }
@@ -181,8 +212,10 @@ NativeBenchResult RunNativeBench(const NativeBenchConfig& config, EnergyMeter* m
   }
   // Type-erased fallback (ADAPTIVE, unknown names -> MakeLockOrThrow's
   // std::invalid_argument) or an explicitly requested kTypeErased baseline.
-  return RunWithLockType<LockHandle>(
-      config, meter, [&] { return MakeLockOrThrow(config.lock_name, config.lock_options); });
+  return RunWithLockType<LockHandle>(config, meter, [&]() -> std::unique_ptr<LockHandle> {
+    auto handle = MakeLockOrThrow(config.lock_name, config.lock_options);
+    return config.trace ? WrapTraced(std::move(handle)) : std::move(handle);
+  });
 }
 
 }  // namespace lockin

@@ -28,6 +28,7 @@
 
 #include "src/energy/energy_meter.hpp"
 #include "src/locks/lock_registry.hpp"
+#include "src/obs/trace.hpp"
 #include "src/stats/histogram.hpp"
 
 namespace lockin {
@@ -57,6 +58,13 @@ struct NativeBenchConfig {
   // iteration would put one shared load inside every measured acquire.
   std::uint32_t stop_check_every = 32;
   LockBuildOptions lock_options;  // pause kind, yield threshold, budgets
+  // LockScope tracing. Off (the default) costs nothing: the static tier is
+  // instantiated with NullTracePolicy and stays byte-identical to the
+  // untraced loop. On, each worker gets a per-thread ring in the process
+  // TraceSession and the measured loop emits acquire/contended/release
+  // events (plus futex sleep/wake from the instrumented slow paths).
+  bool trace = false;
+  std::uint32_t trace_buffer_events = TraceBuffer::kDefaultCapacity;
 };
 
 struct NativeBenchResult {

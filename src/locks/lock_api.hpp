@@ -15,7 +15,10 @@
 #include <concepts>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
+
+#include "src/obs/trace.hpp"
 
 namespace lockin {
 
@@ -61,6 +64,116 @@ class LockAdapter final : public LockHandle {
   std::string name_;
   L impl_;
 };
+
+// --- LockScope tracing hooks -------------------------------------------------
+
+// Wraps any Lockable with compile-time optional event tracing. With the
+// default NullTracePolicy every emit is an empty inline function and the
+// site-id member collapses to nothing ([[no_unique_address]]), so
+// TracedLock<L> is byte-identical to L -- the harness's static tier keeps
+// its hardware-floor fast path (static_assert fences in harness.cpp).
+// With ThreadTracePolicy, lock()/unlock() emit acquire-begin / contended /
+// acquired / released events into the calling thread's trace sink.
+template <Lockable L, typename Trace = NullTracePolicy>
+class TracedLock {
+ public:
+  template <typename... Args>
+  explicit TracedLock(Args&&... args) : impl_(std::forward<Args>(args)...) {
+    if constexpr (Trace::kEnabled) {
+      site_.id = NextTraceSiteId();
+    }
+  }
+
+  void lock() {
+    if constexpr (Trace::kEnabled) {
+      Trace::Emit(TraceEventKind::kAcquireBegin, site_.id);
+      if (!impl_.try_lock()) {
+        Trace::Emit(TraceEventKind::kContended, site_.id);
+        impl_.lock();
+      }
+      Trace::Emit(TraceEventKind::kAcquired, site_.id);
+    } else {
+      impl_.lock();
+    }
+  }
+
+  bool try_lock() {
+    if constexpr (Trace::kEnabled) {
+      Trace::Emit(TraceEventKind::kAcquireBegin, site_.id);
+      if (impl_.try_lock()) {
+        Trace::Emit(TraceEventKind::kAcquired, site_.id);
+        return true;
+      }
+      return false;
+    } else {
+      return impl_.try_lock();
+    }
+  }
+
+  void unlock() {
+    impl_.unlock();
+    if constexpr (Trace::kEnabled) {
+      Trace::Emit(TraceEventKind::kReleased, site_.id);
+    }
+  }
+
+  L& impl() { return impl_; }
+  const L& impl() const { return impl_; }
+
+ private:
+  struct TraceSite {
+    std::uint32_t id = 0;
+  };
+  struct NoTraceSite {};
+
+  L impl_;
+  [[no_unique_address]] std::conditional_t<Trace::kEnabled, TraceSite, NoTraceSite> site_;
+};
+
+// Runtime counterpart for the type-erased tier: wraps a LockHandle and
+// emits the same events. Used by the scenario driver when tracing is
+// requested -- untraced runs never construct one, so the default handle
+// path is unchanged.
+class TracedHandle final : public LockHandle {
+ public:
+  explicit TracedHandle(std::unique_ptr<LockHandle> inner)
+      : inner_(std::move(inner)), site_(NextTraceSiteId()) {}
+
+  void lock() override {
+    TraceEmit(TraceEventKind::kAcquireBegin, site_);
+    if (!inner_->try_lock()) {
+      TraceEmit(TraceEventKind::kContended, site_);
+      inner_->lock();
+    }
+    TraceEmit(TraceEventKind::kAcquired, site_);
+  }
+
+  void unlock() override {
+    inner_->unlock();
+    TraceEmit(TraceEventKind::kReleased, site_);
+  }
+
+  bool try_lock() override {
+    TraceEmit(TraceEventKind::kAcquireBegin, site_);
+    if (inner_->try_lock()) {
+      TraceEmit(TraceEventKind::kAcquired, site_);
+      return true;
+    }
+    return false;
+  }
+
+  std::string name() const override { return inner_->name(); }
+
+  std::uint32_t site() const { return site_; }
+
+ private:
+  std::unique_ptr<LockHandle> inner_;
+  std::uint32_t site_;
+};
+
+inline std::unique_ptr<LockHandle> WrapTraced(std::unique_ptr<LockHandle> inner) {
+  return std::make_unique<TracedHandle>(std::move(inner));
+}
 
 // RAII guard over the type-erased handle.
 class HandleGuard {

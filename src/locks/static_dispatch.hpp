@@ -26,6 +26,7 @@
 #include "src/locks/backoff.hpp"
 #include "src/locks/clh.hpp"
 #include "src/locks/futex_lock.hpp"
+#include "src/locks/lock_api.hpp"
 #include "src/locks/lock_registry.hpp"
 #include "src/locks/mcs.hpp"
 #include "src/locks/mutexee.hpp"
@@ -122,6 +123,21 @@ bool WithConcreteLock(const std::string& name, const LockBuildOptions& options,
     return true;
   }
   return false;
+}
+
+// LockScope variant: visits with TracedLock<L, Trace> instead of the bare
+// concrete type. With Trace = NullTracePolicy this is the exact untraced
+// tier (TracedLock<L, Null> is byte-identical to L); with ThreadTracePolicy
+// the same statically-dispatched loops emit acquire/contended/release
+// events. Constructor arguments pass through unchanged because TracedLock
+// forwards them to L.
+template <typename Trace, typename Visitor>
+bool WithConcreteTracedLock(const std::string& name, const LockBuildOptions& options,
+                            Visitor&& visitor) {
+  return WithConcreteLock(name, options, [&](auto tag, auto&&... args) {
+    using L = typename decltype(tag)::type;
+    visitor(LockTypeTag<TracedLock<L, Trace>>{}, std::forward<decltype(args)>(args)...);
+  });
 }
 
 // True when `name` can run on the devirtualized tier.

@@ -1,0 +1,169 @@
+#include "src/obs/metrics.hpp"
+
+#include <cstdio>
+
+#include "src/platform/spin_hint.hpp"
+
+namespace lockin {
+
+namespace obs_internal {
+
+std::size_t ThreadShardIndex() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return mine;
+}
+
+}  // namespace obs_internal
+
+void MetricHistogram::Record(std::uint64_t value) {
+  Shard& shard = shards_[obs_internal::ThreadShardIndex()];
+  while (shard.busy.test_and_set(std::memory_order_acquire)) {
+    SpinPause(PauseKind::kPause);
+  }
+  shard.histogram.Record(value);
+  shard.busy.clear(std::memory_order_release);
+}
+
+LatencyHistogram MetricHistogram::Snapshot() const {
+  LatencyHistogram merged;
+  for (const Shard& shard : shards_) {
+    while (shard.busy.test_and_set(std::memory_order_acquire)) {
+      SpinPause(PauseKind::kPause);
+    }
+    merged.Merge(shard.histogram);
+    shard.busy.clear(std::memory_order_release);
+  }
+  return merged;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricCounter& MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& entry : counters_) {
+    if (entry.first == name) {
+      return entry.second;
+    }
+  }
+  counters_.emplace_back();
+  counters_.back().first = name;
+  return counters_.back().second;
+}
+
+MetricGauge& MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& entry : gauges_) {
+    if (entry.first == name) {
+      return entry.second;
+    }
+  }
+  gauges_.emplace_back();
+  gauges_.back().first = name;
+  return gauges_.back().second;
+}
+
+MetricHistogram& MetricsRegistry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& entry : histograms_) {
+    if (entry.first == name) {
+      return entry.second;
+    }
+  }
+  histograms_.emplace_back();
+  histograms_.back().first = name;
+  return histograms_.back().second;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<Sample> samples;
+  samples.reserve(counters_.size() + gauges_.size() + histograms_.size() * 4);
+  for (const auto& entry : counters_) {
+    samples.push_back({entry.first, "counter", static_cast<double>(entry.second.Value())});
+  }
+  for (const auto& entry : gauges_) {
+    samples.push_back({entry.first, "gauge", entry.second.Value()});
+  }
+  for (const auto& entry : histograms_) {
+    const LatencyHistogram merged = entry.second.Snapshot();
+    samples.push_back({entry.first, "histogram_count", static_cast<double>(merged.count())});
+    samples.push_back({entry.first, "histogram_p50", static_cast<double>(merged.P50())});
+    samples.push_back({entry.first, "histogram_p99", static_cast<double>(merged.P99())});
+    samples.push_back({entry.first, "histogram_max", static_cast<double>(merged.max())});
+  }
+  return samples;
+}
+
+namespace {
+
+// Minimal RFC 8259 string escaping; metric names are code-chosen but a
+// strict parser downstream must never see a bare control character.
+void WriteJsonString(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void WriteNumber(std::ostream& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& entry : counters_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, entry.first);
+    out << ": " << entry.second.Value();
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& entry : gauges_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, entry.first);
+    out << ": ";
+    WriteNumber(out, entry.second.Value());
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& entry : histograms_) {
+    const LatencyHistogram merged = entry.second.Snapshot();
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, entry.first);
+    out << ": {\"count\": " << merged.count() << ", \"p50\": " << merged.P50()
+        << ", \"p99\": " << merged.P99() << ", \"max\": " << merged.max() << "}";
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+}  // namespace lockin

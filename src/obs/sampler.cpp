@@ -1,0 +1,50 @@
+#include "src/obs/sampler.hpp"
+
+#include <chrono>
+
+namespace lockin {
+
+EnergySampler::EnergySampler(EnergyMeter* meter, std::uint64_t interval_ms, TraceBuffer* sink)
+    : meter_(meter), sink_(sink), interval_ms_(interval_ms == 0 ? 1 : interval_ms) {
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms_));
+      Sample();
+    }
+  });
+}
+
+void EnergySampler::Sample() {
+  const EnergySample cumulative = meter_->Stop();
+  EnergyPoint point;
+  point.seconds = cumulative.seconds;
+  point.joules = cumulative.total_joules();
+  const double dt = point.seconds - last_seconds_;
+  point.watts = dt > 0 ? (point.joules - last_joules_) / dt : 0;
+  last_seconds_ = point.seconds;
+  last_joules_ = point.joules;
+  if (sink_ != nullptr) {
+    sink_->Push(ReadCycles(), TraceEventKind::kWattsSample,
+                static_cast<std::uint32_t>(point.watts * 1000.0));
+  }
+  series_.push_back(point);
+}
+
+std::vector<EnergyPoint> EnergySampler::Finish() {
+  if (!finished_) {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+    Sample();  // final point covers the tail of the run
+    finished_ = true;
+  }
+  return series_;
+}
+
+EnergySampler::~EnergySampler() {
+  if (!finished_) {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+}
+
+}  // namespace lockin

@@ -535,6 +535,11 @@ void SimAdaptiveLock::MaybeFinishSwitch() {
   current_ = next_;
   switching_ = false;
   ++switches_;
+  // LockScope: same kEpochSwitch record the native AdaptiveLock emits,
+  // stamped with sim time (the switch is a lock-wide instant, not tied to
+  // one simulated thread; it lands on track 0).
+  machine_->engine().EmitTrace(TraceEventKind::kEpochSwitch, 0,
+                               static_cast<std::uint32_t>(current_));
   std::vector<Parked> parked = std::move(parked_);
   parked_.clear();
   for (Parked& p : parked) {

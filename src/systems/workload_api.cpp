@@ -6,9 +6,13 @@
 #include <thread>
 #include <utility>
 
+#include "src/energy/model_meter.hpp"
+#include "src/energy/power_model.hpp"
+#include "src/obs/sampler.hpp"
 #include "src/platform/cacheline.hpp"
 #include "src/platform/cycles.hpp"
 #include "src/platform/spin_hint.hpp"
+#include "src/platform/topology.hpp"
 #include "src/systems/scenarios/scenario_defs.hpp"
 
 namespace lockin {
@@ -109,7 +113,33 @@ ScenarioResult RunScenario(ScenarioWorkload& workload, const ScenarioConfig& con
     throw std::invalid_argument("scenario declares more than kMaxCounters counters: " +
                                 scenario_name);
   }
+
+  // LockScope: energy meter for the run phase. kAuto follows the fallback
+  // chain (RAPL when readable, else the model integrating this run's worker
+  // contexts); the result carries joules/TPP as dedicated fields.
+  std::shared_ptr<ActivityRegistry> activity;
+  std::unique_ptr<EnergyMeter> meter;
+  if (config.meter != MeterChoice::kOff) {
+    activity = std::make_shared<ActivityRegistry>(
+        PowerModel(Topology::Detect(), PowerParams::PaperXeon()));
+    meter = config.meter == MeterChoice::kModel ? std::make_unique<ModelMeter>(activity)
+                                                : MakeDefaultMeter(activity);
+  }
+
+  // LockScope: trace rings. tids 0..threads-1 are the workers; the driver
+  // thread (setup/run phase markers) uses tid = threads and the energy
+  // sampler tid = threads + 1. Setup runs with the driver's sink installed
+  // so preload-time lock activity is visible too.
+  TraceBuffer* driver_trace = nullptr;
+  if (config.trace) {
+    driver_trace = TraceSession::Instance().NewBuffer(static_cast<std::uint16_t>(config.threads),
+                                                      config.trace_buffer_events);
+  }
+  ScopedTraceSink driver_sink(driver_trace);
+
+  TraceEmit(TraceEventKind::kPhaseBegin, 0);
   workload.Setup(config);
+  TraceEmit(TraceEventKind::kPhaseEnd, 0);
 
   std::atomic<bool> start_flag{false};
   std::atomic<bool> stop_flag{false};
@@ -122,14 +152,46 @@ ScenarioResult RunScenario(ScenarioWorkload& workload, const ScenarioConfig& con
     slots.back().ctx.thread_index = t;
   }
 
+  std::vector<TraceBuffer*> worker_traces(static_cast<std::size_t>(config.threads), nullptr);
+  if (config.trace) {
+    for (int t = 0; t < config.threads; ++t) {
+      worker_traces[static_cast<std::size_t>(t)] = TraceSession::Instance().NewBuffer(
+          static_cast<std::uint16_t>(t), config.trace_buffer_events);
+    }
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(config.threads));
   for (int t = 0; t < config.threads; ++t) {
     WorkerSlot& slot = slots[static_cast<std::size_t>(t)];
-    workers.emplace_back(
-        [&, &slot = slot] { WorkerBody(workload, config, slot, start_flag, stop_flag); });
+    TraceBuffer* trace_buffer = worker_traces[static_cast<std::size_t>(t)];
+    workers.emplace_back([&, &slot = slot, trace_buffer] {
+      ScopedTraceSink sink(trace_buffer);  // null when tracing is off
+      WorkerBody(workload, config, slot, start_flag, stop_flag);
+    });
   }
 
+  // The model meter integrates "worker contexts busy" between Start() and
+  // Stop(); RAPL ignores the registry. States are restored after the join.
+  if (activity != nullptr) {
+    for (int t = 0; t < config.threads; ++t) {
+      activity->SetState(t, ActivityState::kCritical);
+    }
+  }
+  if (meter != nullptr) {
+    meter->Start();
+  }
+  std::unique_ptr<EnergySampler> sampler;
+  if (meter != nullptr && config.energy_sample_ms > 0) {
+    TraceBuffer* sampler_sink = nullptr;
+    if (config.trace) {
+      sampler_sink = TraceSession::Instance().NewBuffer(
+          static_cast<std::uint16_t>(config.threads + 1), config.trace_buffer_events);
+    }
+    sampler = std::make_unique<EnergySampler>(meter.get(), config.energy_sample_ms, sampler_sink);
+  }
+
+  TraceEmit(TraceEventKind::kPhaseBegin, 1);
   const auto t0 = std::chrono::steady_clock::now();
   start_flag.store(true, std::memory_order_release);
   if (config.duration_ms != 0) {
@@ -140,8 +202,21 @@ ScenarioResult RunScenario(ScenarioWorkload& workload, const ScenarioConfig& con
     worker.join();
   }
   const auto t1 = std::chrono::steady_clock::now();
+  TraceEmit(TraceEventKind::kPhaseEnd, 1);
 
   ScenarioResult result;
+  if (sampler != nullptr) {
+    result.energy_series = sampler->Finish();
+  }
+  if (meter != nullptr) {
+    result.energy = meter->Stop();
+    result.meter_name = meter->Name();
+  }
+  if (activity != nullptr) {
+    for (int t = 0; t < config.threads; ++t) {
+      activity->SetState(t, ActivityState::kInactive);
+    }
+  }
   result.scenario = scenario_name;
   result.lock_name = config.lock_name;
   result.threads = config.threads;
@@ -180,6 +255,7 @@ ScenarioRegistry& ScenarioRegistry::Instance() {
     RegisterMiniSqlScenarios(*r);
     RegisterWalStoreScenarios(*r);
     RegisterCowListScenarios(*r);
+    RegisterRwLockScenarios(*r);
     return r;
   }();
   return *registry;

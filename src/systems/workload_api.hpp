@@ -29,11 +29,22 @@
 #include <string>
 #include <vector>
 
+#include "src/energy/energy_meter.hpp"
+#include "src/locks/lock_api.hpp"
+#include "src/obs/sampler.hpp"
+#include "src/obs/trace.hpp"
 #include "src/platform/rng.hpp"
 #include "src/stats/histogram.hpp"
 #include "src/systems/common.hpp"
 
 namespace lockin {
+
+// Which energy meter the scenario driver attaches to a run.
+enum class MeterChoice {
+  kAuto,   // RAPL when readable, the calibrated model otherwise (default)
+  kModel,  // force the model meter (deterministic availability, e.g. tests)
+  kOff,    // no meter; result.energy stays zero
+};
 
 // One scenario run: which lock, how many threads, how long, which mix.
 // Scenario-agnostic; each scenario maps the generic knobs onto its own
@@ -61,10 +72,34 @@ struct ScenarioConfig {
   std::uint32_t yield_after = 256;  // spinlock oversubscription escape hatch
   bool record_latency = true;       // batched per-op rdtsc histogram
 
+  // --- LockScope observability ----------------------------------------------
+  // trace: give every worker a per-thread event ring in the process
+  // TraceSession and wrap the scenario's locks in TracedHandle, so lock
+  // waits/holds, futex sleeps and adaptive epoch switches land in the
+  // exported timeline. Off by default: untraced runs construct no wrapper
+  // and emit nothing.
+  bool trace = false;
+  std::uint32_t trace_buffer_events = TraceBuffer::kDefaultCapacity;
+  // Energy accounting for the run phase. kAuto follows the meter fallback
+  // chain (RAPL -> model); the model integrates the run's worker contexts
+  // as active. result.energy/Tpp() report the outcome.
+  MeterChoice meter = MeterChoice::kAuto;
+  // When > 0, a background sampler thread snapshots the meter every
+  // energy_sample_ms into result.energy_series (and, when tracing, a
+  // Perfetto counter track of watts).
+  std::uint32_t energy_sample_ms = 0;
+
   // The lock factory every scenario builds its system with (the paper's
   // "swap the pthread locks" point). Throws std::invalid_argument for
-  // unknown names, at Setup time.
-  LockFactory MakeLockFactory() const { return NamedLockFactory(lock_name, yield_after); }
+  // unknown names, at Setup time. Traced runs wrap every lock the scenario
+  // builds in a TracedHandle.
+  LockFactory MakeLockFactory() const {
+    LockFactory factory = NamedLockFactory(lock_name, yield_after);
+    if (!trace) {
+      return factory;
+    }
+    return [factory = std::move(factory)] { return WrapTraced(factory()); };
+  }
 };
 
 struct ScenarioMetric {
@@ -84,7 +119,19 @@ struct ScenarioResult {
   // scenario's system-level metrics (sizes, evictions, WAL records, ...).
   std::vector<ScenarioMetric> metrics;
 
+  // Energy over the run phase (setup excluded). Zero when meter == kOff.
+  // Kept out of `metrics` on purpose: the metrics vector is the
+  // deterministic, seed-stable part of the result, and energy is wall-clock
+  // dependent by nature.
+  EnergySample energy;
+  std::string meter_name;                  // "rapl", "model", "" when off
+  std::vector<EnergyPoint> energy_series;  // non-empty when energy_sample_ms > 0
+
   double MopsPerS() const { return ops_per_s / 1e6; }
+  // Throughput-per-power (ops/Joule), the paper's efficiency metric; 0
+  // without energy data.
+  double Tpp() const { return energy.Tpp(static_cast<double>(total_ops)); }
+  double AvgWatts() const { return energy.average_watts(); }
   // Named metric lookup; `fallback` when the scenario does not report it.
   double MetricOr(const std::string& name, double fallback = 0) const;
 };

@@ -44,7 +44,7 @@ TEST(ScenarioRegistry, ListsEverySystem) {
     EXPECT_NE(info.name.find('/'), std::string::npos) << info.name;
   }
   const std::set<std::string> expected = {"KvStore", "MemCache", "NosqlDb", "GraphStore",
-                                          "MiniSql", "WalStore", "CowList"};
+                                          "MiniSql", "WalStore", "CowList", "RwKv"};
   EXPECT_EQ(systems, expected);
 }
 
