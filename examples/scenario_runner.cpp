@@ -26,6 +26,8 @@
 //                     scenario x lock only
 //   --metrics         print the process MetricsRegistry as flat JSON after
 //                     the runs
+//   --lockdep         arm the LockLint lock-order detector for the runs and
+//                     print any reported violations (exit 1 if any)
 //   --meter MODE      energy meter: auto (RAPL else model; default),
 //                     model, off
 //   --sample-ms N     sample the meter every N ms into an energy series
@@ -66,6 +68,7 @@ struct RunnerOptions {
   std::uint64_t key_space = 0;
   std::string trace_path;
   bool metrics = false;
+  bool lockdep = false;
   std::string meter = "auto";
   long sample_ms = 0;
 };
@@ -75,7 +78,7 @@ void PrintUsage(const char* prog, std::FILE* out) {
                "usage: %s --list | --scenario NAME | --all [options]\n"
                "  --lock NAME|all  --threads N  --ops N  --seconds S  --seed N\n"
                "  --read-percent P  --key-space N  --json  --quick\n"
-               "  --trace FILE  --metrics  --meter auto|model|off  --sample-ms N\n",
+               "  --trace FILE  --metrics  --lockdep  --meter auto|model|off  --sample-ms N\n",
                prog);
 }
 
@@ -143,6 +146,8 @@ RunnerOptions ParseArgs(int argc, char** argv) {
       options.trace_path = value_of(i, "--trace");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       options.metrics = true;
+    } else if (std::strcmp(argv[i], "--lockdep") == 0) {
+      options.lockdep = true;
     } else if (std::strcmp(argv[i], "--meter") == 0) {
       options.meter = value_of(i, "--meter");
       if (options.meter != "auto" && options.meter != "model" && options.meter != "off") {
@@ -263,6 +268,7 @@ int main(int argc, char** argv) {
   config.read_percent = options.read_percent;
   config.key_space = options.key_space;
   config.trace = !options.trace_path.empty();
+  config.lockdep = options.lockdep;
   config.meter = options.meter == "off"     ? MeterChoice::kOff
                  : options.meter == "model" ? MeterChoice::kModel
                                             : MeterChoice::kAuto;
@@ -322,6 +328,19 @@ int main(int argc, char** argv) {
   }
   if (options.metrics) {
     MetricsRegistry::Instance().WriteJson(std::cout);
+  }
+  if (options.lockdep) {
+    const std::vector<LockdepReport> reports = LockdepReports();
+    const LockdepStats stats = LockdepGetStats();
+    std::fprintf(stderr, "lockdep: %llu events, %llu edges, %zu violation(s)\n",
+                 static_cast<unsigned long long>(stats.events),
+                 static_cast<unsigned long long>(stats.edges), reports.size());
+    for (const LockdepReport& report : reports) {
+      std::fprintf(stderr, "lockdep: %s\n", report.Describe().c_str());
+    }
+    if (!reports.empty()) {
+      return 1;
+    }
   }
   return 0;
 }

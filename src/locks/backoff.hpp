@@ -14,6 +14,7 @@
 #include "src/platform/cacheline.hpp"
 #include "src/platform/rng.hpp"
 #include "src/platform/spin_hint.hpp"
+#include "src/platform/thread_annotations.hpp"
 #include "src/locks/spinlocks.hpp"
 
 namespace lockin {
@@ -28,14 +29,14 @@ struct BackoffConfig {
 // TAS with randomized exponential backoff: each failed exchange doubles the
 // backoff window and waits a random fraction of it, draining the atomic
 // storm that makes plain TAS's release so expensive (Figure 11).
-class BackoffTasLock {
+class LL_CAPABILITY("mutex") BackoffTasLock {
  public:
   BackoffTasLock() = default;
   explicit BackoffTasLock(BackoffConfig config) : config_(config) {}
 
-  void lock();
-  bool try_lock();
-  void unlock();
+  void lock() LL_ACQUIRE();
+  bool try_lock() LL_TRY_ACQUIRE(true);
+  void unlock() LL_RELEASE();
 
  private:
   BackoffConfig config_{};
@@ -47,7 +48,7 @@ class BackoffTasLock {
 // `max_cohort_handovers` before releasing the global lock, trading
 // (bounded) fairness for far fewer cross-socket line transfers -- the same
 // fairness/efficiency dial the paper turns with MUTEXEE, in spinlock form.
-class CohortLock {
+class LL_CAPABILITY("mutex") CohortLock {
  public:
   struct Config {
     int sockets = 2;
@@ -60,12 +61,15 @@ class CohortLock {
 
   // The socket id comes from the caller (thread pinning determines it);
   // the Lockable-conforming lock() uses a hash of the thread id.
-  void lock(int socket);
-  void unlock(int socket);
+  // Bodies acquire the per-socket TTAS and the global TICKET members on
+  // behalf of the CohortLock capability; the analysis cannot equate the
+  // levels, so the bodies opt out and the declarations carry the contract.
+  void lock(int socket) LL_ACQUIRE() LL_NO_THREAD_SAFETY_ANALYSIS;
+  void unlock(int socket) LL_RELEASE() LL_NO_THREAD_SAFETY_ANALYSIS;
 
-  void lock();
-  bool try_lock();
-  void unlock();
+  void lock() LL_ACQUIRE() LL_NO_THREAD_SAFETY_ANALYSIS;
+  bool try_lock() LL_TRY_ACQUIRE(true) LL_NO_THREAD_SAFETY_ANALYSIS;
+  void unlock() LL_RELEASE() LL_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   struct alignas(kCacheLineSize) Local {

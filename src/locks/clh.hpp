@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/platform/cacheline.hpp"
+#include "src/platform/thread_annotations.hpp"
 #include "src/locks/spinlocks.hpp"
 
 namespace lockin {
@@ -19,7 +20,7 @@ struct alignas(kCacheLineSize) ClhNode {
   std::atomic<std::uint32_t> locked{0};
 };
 
-class ClhLock {
+class LL_CAPABILITY("mutex") ClhLock {
  public:
   ClhLock();
   explicit ClhLock(SpinConfig config);
@@ -28,9 +29,9 @@ class ClhLock {
   ClhLock(const ClhLock&) = delete;
   ClhLock& operator=(const ClhLock&) = delete;
 
-  void lock();
-  bool try_lock();
-  void unlock();
+  void lock() LL_ACQUIRE();
+  bool try_lock() LL_TRY_ACQUIRE(true);
+  void unlock() LL_RELEASE();
 
  private:
   struct ThreadSlot {

@@ -14,6 +14,7 @@
 #include "src/futex/futex.hpp"
 #include "src/locks/lock_api.hpp"
 #include "src/platform/cacheline.hpp"
+#include "src/platform/thread_annotations.hpp"
 
 namespace lockin {
 
@@ -27,7 +28,7 @@ class CondVar {
   // Releases `lock`, waits for a signal, reacquires. Spurious wake-ups are
   // possible (as with pthreads); always wait in a predicate loop.
   template <Lockable L>
-  void Wait(L& lock) {
+  void Wait(L& lock) LL_REQUIRES(lock) {
     const std::uint32_t seq = sequence_.load(std::memory_order_relaxed);
     lock.unlock();
     FutexWait(&sequence_, seq);
@@ -35,7 +36,7 @@ class CondVar {
   }
 
   // Type-erased variant for LockHandle users.
-  void Wait(LockHandle& lock) {
+  void Wait(LockHandle& lock) LL_REQUIRES(lock) {
     const std::uint32_t seq = sequence_.load(std::memory_order_relaxed);
     lock.unlock();
     FutexWait(&sequence_, seq);
@@ -44,7 +45,7 @@ class CondVar {
 
   // Timed wait; returns false on timeout.
   template <Lockable L>
-  bool WaitFor(L& lock, std::uint64_t timeout_ns) {
+  bool WaitFor(L& lock, std::uint64_t timeout_ns) LL_REQUIRES(lock) {
     const std::uint32_t seq = sequence_.load(std::memory_order_relaxed);
     lock.unlock();
     const FutexWaitResult result = FutexWaitTimeout(&sequence_, seq, timeout_ns);

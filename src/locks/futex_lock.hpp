@@ -20,6 +20,7 @@
 #include "src/futex/futex.hpp"
 #include "src/platform/cacheline.hpp"
 #include "src/platform/spin_hint.hpp"
+#include "src/platform/thread_annotations.hpp"
 
 namespace lockin {
 
@@ -32,7 +33,7 @@ struct FutexLockConfig {
   PauseKind pause = PauseKind::kPause;
 };
 
-class FutexLock {
+class LL_CAPABILITY("mutex") FutexLock {
  public:
   FutexLock() = default;
   explicit FutexLock(FutexLockConfig config) : config_(config) {}
@@ -40,7 +41,7 @@ class FutexLock {
   // Fast paths are inline (the uncontested CAS / release store is what the
   // devirtualized bench tier measures); the futex sleep phase stays
   // out-of-line in futex_lock.cpp.
-  void lock() {
+  void lock() LL_ACQUIRE() {
     // Spin phase: up to config_.spin_tries CAS attempts from 0.
     for (std::uint32_t attempt = 0; attempt < config_.spin_tries; ++attempt) {
       std::uint32_t expected = 0;
@@ -53,13 +54,13 @@ class FutexLock {
     LockSlow();
   }
 
-  bool try_lock() {
+  bool try_lock() LL_TRY_ACQUIRE(true) {
     std::uint32_t expected = 0;
     return state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
                                           std::memory_order_relaxed);
   }
 
-  void unlock() {
+  void unlock() LL_RELEASE() {
     // Release in user space; wake one sleeper only when waiters were
     // advertised (state 2).
     if (state_.exchange(0, std::memory_order_release) == 2) {

@@ -55,6 +55,13 @@ static_assert(sizeof(TracedLock<FutexLock>) == sizeof(FutexLock),
 static_assert(sizeof(TracedLock<MutexeeLock>) == sizeof(MutexeeLock),
               "NullTracePolicy TracedLock must be byte-identical to the bare lock");
 
+// The lockdep detector (src/analysis/lockdep.hpp) rides the same fence: its
+// hook lives inside TraceEmit, NullTracePolicy::Emit never calls TraceEmit,
+// so the static untraced tier has no lockdep entry points at all -- its
+// ns/op cannot move with the detector compiled in, enabled or not.
+static_assert(!NullTracePolicy::kEnabled,
+              "the untraced tier must compile out every emit (and lockdep hook) site");
+
 // The measured loop. `Lock` is either a concrete lock type (static tier:
 // lock()/unlock() inline here) or LockHandle (type-erased tier: two virtual
 // calls per iteration). Everything the loop writes lives in `slot`; the

@@ -18,7 +18,9 @@
 #include <type_traits>
 #include <utility>
 
+#include "src/analysis/lockdep.hpp"
 #include "src/obs/trace.hpp"
+#include "src/platform/thread_annotations.hpp"
 
 namespace lockin {
 
@@ -32,19 +34,28 @@ concept Lockable = requires(L lock) {
 // Runtime-polymorphic lock. Implementations are adapters over the concrete
 // algorithms; the virtual-call overhead is ~1-2 ns and identical across
 // algorithms, so relative comparisons are unaffected.
-class LockHandle {
+//
+// The handle itself is the capability callers reason about: systems write
+// `Entry entry_ LL_GUARDED_BY(*lock_)` against the LockHandle they own, and
+// -Wthread-safety enforces it across every concrete algorithm at once.
+class LL_CAPABILITY("mutex") LockHandle {
  public:
   virtual ~LockHandle() = default;
 
-  virtual void lock() = 0;
-  virtual void unlock() = 0;
-  virtual bool try_lock() = 0;
+  virtual void lock() LL_ACQUIRE() = 0;
+  virtual void unlock() LL_RELEASE() = 0;
+  virtual bool try_lock() LL_TRY_ACQUIRE(true) = 0;
 
   // Algorithm name as used in the paper's figures ("MUTEX", "TICKET", ...).
   virtual std::string name() const = 0;
 };
 
 // Adapts any Lockable into a LockHandle.
+//
+// The overrides advertise acquiring *this* (the capability callers see)
+// while their bodies acquire the wrapped impl_; the analysis cannot equate
+// the two, so the bodies opt out and the declaration annotations carry the
+// contract to call sites.
 template <Lockable L>
 class LockAdapter final : public LockHandle {
  public:
@@ -52,9 +63,11 @@ class LockAdapter final : public LockHandle {
   explicit LockAdapter(std::string name, Args&&... args)
       : name_(std::move(name)), impl_(std::forward<Args>(args)...) {}
 
-  void lock() override { impl_.lock(); }
-  void unlock() override { impl_.unlock(); }
-  bool try_lock() override { return impl_.try_lock(); }
+  void lock() LL_ACQUIRE() LL_NO_THREAD_SAFETY_ANALYSIS override { impl_.lock(); }
+  void unlock() LL_RELEASE() LL_NO_THREAD_SAFETY_ANALYSIS override { impl_.unlock(); }
+  bool try_lock() LL_TRY_ACQUIRE(true) LL_NO_THREAD_SAFETY_ANALYSIS override {
+    return impl_.try_lock();
+  }
   std::string name() const override { return name_; }
 
   L& impl() { return impl_; }
@@ -75,7 +88,7 @@ class LockAdapter final : public LockHandle {
 // With ThreadTracePolicy, lock()/unlock() emit acquire-begin / contended /
 // acquired / released events into the calling thread's trace sink.
 template <Lockable L, typename Trace = NullTracePolicy>
-class TracedLock {
+class LL_CAPABILITY("mutex") TracedLock {
  public:
   template <typename... Args>
   explicit TracedLock(Args&&... args) : impl_(std::forward<Args>(args)...) {
@@ -84,7 +97,8 @@ class TracedLock {
     }
   }
 
-  void lock() {
+  // Forwarding bodies acquire the wrapped impl_, not *this; see LockAdapter.
+  void lock() LL_ACQUIRE() LL_NO_THREAD_SAFETY_ANALYSIS {
     if constexpr (Trace::kEnabled) {
       Trace::Emit(TraceEventKind::kAcquireBegin, site_.id);
       if (!impl_.try_lock()) {
@@ -97,7 +111,7 @@ class TracedLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() LL_TRY_ACQUIRE(true) LL_NO_THREAD_SAFETY_ANALYSIS {
     if constexpr (Trace::kEnabled) {
       Trace::Emit(TraceEventKind::kAcquireBegin, site_.id);
       if (impl_.try_lock()) {
@@ -110,7 +124,7 @@ class TracedLock {
     }
   }
 
-  void unlock() {
+  void unlock() LL_RELEASE() LL_NO_THREAD_SAFETY_ANALYSIS {
     impl_.unlock();
     if constexpr (Trace::kEnabled) {
       Trace::Emit(TraceEventKind::kReleased, site_.id);
@@ -137,9 +151,12 @@ class TracedLock {
 class TracedHandle final : public LockHandle {
  public:
   explicit TracedHandle(std::unique_ptr<LockHandle> inner)
-      : inner_(std::move(inner)), site_(NextTraceSiteId()) {}
+      : inner_(std::move(inner)), site_(NextTraceSiteId()) {
+    // Label the site for lockdep reports ("site 3 (TICKET)").
+    LockdepRegisterSiteName(site_, inner_->name());
+  }
 
-  void lock() override {
+  void lock() LL_ACQUIRE() LL_NO_THREAD_SAFETY_ANALYSIS override {
     TraceEmit(TraceEventKind::kAcquireBegin, site_);
     if (!inner_->try_lock()) {
       TraceEmit(TraceEventKind::kContended, site_);
@@ -148,12 +165,12 @@ class TracedHandle final : public LockHandle {
     TraceEmit(TraceEventKind::kAcquired, site_);
   }
 
-  void unlock() override {
+  void unlock() LL_RELEASE() LL_NO_THREAD_SAFETY_ANALYSIS override {
     inner_->unlock();
     TraceEmit(TraceEventKind::kReleased, site_);
   }
 
-  bool try_lock() override {
+  bool try_lock() LL_TRY_ACQUIRE(true) LL_NO_THREAD_SAFETY_ANALYSIS override {
     TraceEmit(TraceEventKind::kAcquireBegin, site_);
     if (inner_->try_lock()) {
       TraceEmit(TraceEventKind::kAcquired, site_);
@@ -176,16 +193,34 @@ inline std::unique_ptr<LockHandle> WrapTraced(std::unique_ptr<LockHandle> inner)
 }
 
 // RAII guard over the type-erased handle.
-class HandleGuard {
+class LL_SCOPED_CAPABILITY HandleGuard {
  public:
-  explicit HandleGuard(LockHandle& handle) : handle_(handle) { handle_.lock(); }
-  ~HandleGuard() { handle_.unlock(); }
+  explicit HandleGuard(LockHandle& handle) LL_ACQUIRE(handle) : handle_(handle) {
+    handle_.lock();
+  }
+  ~HandleGuard() LL_RELEASE() { handle_.unlock(); }
 
   HandleGuard(const HandleGuard&) = delete;
   HandleGuard& operator=(const HandleGuard&) = delete;
 
  private:
   LockHandle& handle_;
+};
+
+// RAII guard over any concrete Lockable (the static-dispatch counterpart of
+// HandleGuard). Unlike std::lock_guard this is a scoped capability, so
+// LL_GUARDED_BY data behind a concrete lock stays machine-checked.
+template <Lockable L>
+class LL_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(L& lock) LL_ACQUIRE(lock) : lock_(lock) { lock_.lock(); }
+  ~LockGuard() LL_RELEASE() { lock_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  L& lock_;
 };
 
 }  // namespace lockin

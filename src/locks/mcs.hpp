@@ -19,6 +19,7 @@
 
 #include "src/platform/cacheline.hpp"
 #include "src/platform/spin_hint.hpp"
+#include "src/platform/thread_annotations.hpp"
 #include "src/locks/spinlocks.hpp"
 
 namespace lockin {
@@ -28,21 +29,21 @@ struct alignas(kCacheLineSize) McsNode {
   std::atomic<std::uint32_t> locked{0};
 };
 
-class McsLock {
+class LL_CAPABILITY("mutex") McsLock {
  public:
   McsLock() = default;
   explicit McsLock(SpinConfig config) : config_(config) {}
 
   // Classical explicit-node interface. The node must stay alive and
   // unreused until the matching unlock returns.
-  void lock(McsNode* node);
-  bool try_lock(McsNode* node);
-  void unlock(McsNode* node);
+  void lock(McsNode* node) LL_ACQUIRE();
+  bool try_lock(McsNode* node) LL_TRY_ACQUIRE(true);
+  void unlock(McsNode* node) LL_RELEASE();
 
   // Lockable interface using thread-local nodes.
-  void lock();
-  bool try_lock();
-  void unlock();
+  void lock() LL_ACQUIRE();
+  bool try_lock() LL_TRY_ACQUIRE(true);
+  void unlock() LL_RELEASE();
 
  private:
   static constexpr int kMaxNesting = 16;

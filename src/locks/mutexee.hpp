@@ -34,6 +34,7 @@
 #include "src/futex/futex.hpp"
 #include "src/platform/cacheline.hpp"
 #include "src/platform/spin_hint.hpp"
+#include "src/platform/thread_annotations.hpp"
 
 namespace lockin {
 
@@ -66,7 +67,7 @@ struct MutexeeConfig {
   bool enable_unlock_grace = true;
 };
 
-class MutexeeLock {
+class LL_CAPABILITY("mutex") MutexeeLock {
  public:
   enum class Mode { kSpin, kMutex };
 
@@ -91,9 +92,9 @@ class MutexeeLock {
         spin_lock_budget_(config.spin_mode_lock_cycles),
         spin_grace_budget_(config.spin_mode_grace_cycles) {}
 
-  void lock();
-  bool try_lock();
-  void unlock();
+  void lock() LL_ACQUIRE();
+  bool try_lock() LL_TRY_ACQUIRE(true);
+  void unlock() LL_RELEASE();
 
   // Retunes the spin-mode budgets online (the adaptive runtime derives new
   // budgets per contention regime; see src/adaptive/policy.hpp). Safe to

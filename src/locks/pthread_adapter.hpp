@@ -8,9 +8,11 @@
 
 #include <pthread.h>
 
+#include "src/platform/thread_annotations.hpp"
+
 namespace lockin {
 
-class PthreadMutex {
+class LL_CAPABILITY("mutex") PthreadMutex {
  public:
   PthreadMutex() { pthread_mutex_init(&mutex_, nullptr); }
 
@@ -23,9 +25,9 @@ class PthreadMutex {
   PthreadMutex(const PthreadMutex&) = delete;
   PthreadMutex& operator=(const PthreadMutex&) = delete;
 
-  void lock() { pthread_mutex_lock(&mutex_); }
-  bool try_lock() { return pthread_mutex_trylock(&mutex_) == 0; }
-  void unlock() { pthread_mutex_unlock(&mutex_); }
+  void lock() LL_ACQUIRE() { pthread_mutex_lock(&mutex_); }
+  bool try_lock() LL_TRY_ACQUIRE(true) { return pthread_mutex_trylock(&mutex_) == 0; }
+  void unlock() LL_RELEASE() { pthread_mutex_unlock(&mutex_); }
 
   pthread_mutex_t* native_handle() { return &mutex_; }
 

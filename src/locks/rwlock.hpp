@@ -12,23 +12,24 @@
 
 #include "src/futex/futex.hpp"
 #include "src/platform/cacheline.hpp"
+#include "src/platform/thread_annotations.hpp"
 
 namespace lockin {
 
-class RwLock {
+class LL_CAPABILITY("shared_mutex") RwLock {
  public:
   RwLock() = default;
 
   RwLock(const RwLock&) = delete;
   RwLock& operator=(const RwLock&) = delete;
 
-  void lock_shared();
-  bool try_lock_shared();
-  void unlock_shared();
+  void lock_shared() LL_ACQUIRE_SHARED();
+  bool try_lock_shared() LL_TRY_ACQUIRE_SHARED(true);
+  void unlock_shared() LL_RELEASE_SHARED();
 
-  void lock();      // writer
-  bool try_lock();  // writer
-  void unlock();    // writer
+  void lock() LL_ACQUIRE();      // writer
+  bool try_lock() LL_TRY_ACQUIRE(true);  // writer
+  void unlock() LL_RELEASE();    // writer
 
   // Diagnostics.
   std::uint32_t ActiveReaders() const;
@@ -47,10 +48,12 @@ class RwLock {
 };
 
 // RAII shared guard.
-class SharedGuard {
+class LL_SCOPED_CAPABILITY SharedGuard {
  public:
-  explicit SharedGuard(RwLock& lock) : lock_(lock) { lock_.lock_shared(); }
-  ~SharedGuard() { lock_.unlock_shared(); }
+  explicit SharedGuard(RwLock& lock) LL_ACQUIRE_SHARED(lock) : lock_(lock) {
+    lock_.lock_shared();
+  }
+  ~SharedGuard() LL_RELEASE() { lock_.unlock_shared(); }
 
   SharedGuard(const SharedGuard&) = delete;
   SharedGuard& operator=(const SharedGuard&) = delete;

@@ -16,6 +16,7 @@
 
 #include "src/platform/cacheline.hpp"
 #include "src/platform/spin_hint.hpp"
+#include "src/platform/thread_annotations.hpp"
 
 namespace lockin {
 
@@ -45,12 +46,12 @@ inline void SpinWaitStep(const SpinConfig& config, std::uint32_t iteration) {
 // overhead class devirtualization removes.
 
 // Test-and-set lock: global spinning with an atomic exchange.
-class TasLock {
+class LL_CAPABILITY("mutex") TasLock {
  public:
   TasLock() = default;
   explicit TasLock(SpinConfig config) : config_(config) {}
 
-  void lock() {
+  void lock() LL_ACQUIRE() {
     // Global spinning: the exchange keeps the line in modified state and is
     // the highest-power waiting mode measured in Figure 3.
     std::uint32_t iteration = 0;
@@ -59,9 +60,11 @@ class TasLock {
     }
   }
 
-  bool try_lock() { return locked_.exchange(1, std::memory_order_acquire) == 0; }
+  bool try_lock() LL_TRY_ACQUIRE(true) {
+    return locked_.exchange(1, std::memory_order_acquire) == 0;
+  }
 
-  void unlock() { locked_.store(0, std::memory_order_release); }
+  void unlock() LL_RELEASE() { locked_.store(0, std::memory_order_release); }
 
  private:
   SpinConfig config_{};
@@ -70,12 +73,12 @@ class TasLock {
 
 // Test-and-test-and-set: local spinning on a cached read, atomic only when
 // the lock looks free.
-class TtasLock {
+class LL_CAPABILITY("mutex") TtasLock {
  public:
   TtasLock() = default;
   explicit TtasLock(SpinConfig config) : config_(config) {}
 
-  void lock() {
+  void lock() LL_ACQUIRE() {
     std::uint32_t iteration = 0;
     for (;;) {
       if (locked_.load(std::memory_order_relaxed) == 0 &&
@@ -90,12 +93,12 @@ class TtasLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() LL_TRY_ACQUIRE(true) {
     return locked_.load(std::memory_order_relaxed) == 0 &&
            locked_.exchange(1, std::memory_order_acquire) == 0;
   }
 
-  void unlock() { locked_.store(0, std::memory_order_release); }
+  void unlock() LL_RELEASE() { locked_.store(0, std::memory_order_release); }
 
  private:
   SpinConfig config_{};
@@ -106,12 +109,12 @@ class TtasLock {
 // now-serving counter. Fairness is exactly what collapses under
 // oversubscription in the paper's Figure 11 and the MySQL/SQLite rows of
 // Figures 13-14.
-class TicketLock {
+class LL_CAPABILITY("mutex") TicketLock {
  public:
   TicketLock() = default;
   explicit TicketLock(SpinConfig config) : config_(config) {}
 
-  void lock() {
+  void lock() LL_ACQUIRE() {
     const std::uint32_t my_ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
     std::uint32_t iteration = 0;
     while (now_serving_.load(std::memory_order_acquire) != my_ticket) {
@@ -120,7 +123,7 @@ class TicketLock {
     depart_ = my_ticket + 1;
   }
 
-  bool try_lock() {
+  bool try_lock() LL_TRY_ACQUIRE(true) {
     std::uint32_t serving = now_serving_.load(std::memory_order_acquire);
     std::uint32_t expected = serving;
     // Acquire only when no one is queued: next_ticket == now_serving.
@@ -132,7 +135,7 @@ class TicketLock {
     return false;
   }
 
-  void unlock() {
+  void unlock() LL_RELEASE() {
     // Single-writer handover: only the holder advances now_serving_, so the
     // release is one plain store of the value staged at acquire time --
     // no second locked RMW (the classic ticket-release optimization) and no

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/adaptive/policy.hpp"
+#include "src/platform/json.hpp"
 
 namespace lockin {
 namespace {
@@ -21,21 +22,6 @@ struct ChromeEvent {
   std::uint16_t tid = 0;
   std::string args;    // preformatted JSON object body, may be empty
 };
-
-void AppendEscaped(std::string* out, const std::string& text) {
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out->push_back('\\');
-      out->push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out->append(buf);
-    } else {
-      out->push_back(c);
-    }
-  }
-}
 
 std::string SiteArgs(std::uint32_t site) {
   return "\"site\": " + std::to_string(site);
@@ -146,7 +132,7 @@ void WriteChromeTrace(std::ostream& out, std::vector<TraceEvent> events,
         break;
       case TraceEventKind::kEpochSwitch: {
         std::string args = "\"backend\": \"";
-        AppendEscaped(&args, AdaptiveBackendName(static_cast<AdaptiveBackend>(event.arg)));
+        JsonEscape(&args, AdaptiveBackendName(static_cast<AdaptiveBackend>(event.arg)));
         args += "\"";
         emitted.push_back(
             {"epoch_switch", "adaptive", 'i', to_us(event.timestamp), 0, event.tid, args});
@@ -169,6 +155,10 @@ void WriteChromeTrace(std::ostream& out, std::vector<TraceEvent> events,
         emitted.push_back({"watts", "energy", 'C', to_us(event.timestamp), 0, event.tid,
                            "\"watts\": " + std::to_string(event.arg / 1000.0)});
         break;
+      case TraceEventKind::kLockdepViolation:
+        emitted.push_back({"lockdep_violation", "lockdep", 'i', to_us(event.timestamp), 0,
+                           event.tid, SiteArgs(event.arg)});
+        break;
       case TraceEventKind::kNone:
         break;
     }
@@ -183,7 +173,7 @@ void WriteChromeTrace(std::ostream& out, std::vector<TraceEvent> events,
   // Metadata: name the process and each thread track.
   {
     std::string name;
-    AppendEscaped(&name, options.process_name);
+    JsonEscape(&name, options.process_name);
     emit_comma();
     out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
         << "\"args\": {\"name\": \"" << name << "\"}}";

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/platform/json.hpp"
 #include "src/platform/spin_hint.hpp"
 
 namespace lockin {
@@ -101,30 +102,9 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
 
 namespace {
 
-// Minimal RFC 8259 string escaping; metric names are code-chosen but a
-// strict parser downstream must never see a bare control character.
-void WriteJsonString(std::ostream& out, const std::string& text) {
-  out << '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out << buf;
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
-}
+// Metric names are code-chosen, but a strict parser downstream must never
+// see a bare control character; escaping is the shared src/platform/json.hpp
+// WriteJsonString.
 
 void WriteNumber(std::ostream& out, double value) {
   char buf[32];

@@ -32,6 +32,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "phase_end";
     case TraceEventKind::kWattsSample:
       return "watts";
+    case TraceEventKind::kLockdepViolation:
+      return "lockdep_violation";
   }
   return "unknown";
 }

@@ -49,6 +49,7 @@ enum class TraceEventKind : std::uint16_t {
   kPhaseBegin = 9,       // arg = phase id (driver phases: 0 setup, 1 run)
   kPhaseEnd = 10,        // arg = phase id
   kWattsSample = 11,     // arg = milliwatts (periodic sampler counter track)
+  kLockdepViolation = 12,  // arg = site id in a reported violation chain
 };
 
 // Exporter-facing name ("acquire_begin", "futex_sleep", ...).
@@ -134,10 +135,20 @@ class TraceBuffer {
 // fs-relative mov.
 extern thread_local constinit TraceBuffer* tls_trace_sink;
 
+// LockLint lockdep taps the same event stream (src/analysis/lockdep.hpp).
+// Declared here, defined in lockdep.cpp, so the guard costs one relaxed
+// load + predicted branch and this header needs no analysis include.
+extern std::atomic<bool> g_lockdep_enabled;
+void LockdepOnTraceEvent(TraceEventKind kind, std::uint32_t arg);
+
 // Emits into the calling thread's sink, if any. This is the hook the
 // runtime-instrumented paths use (futex syscalls, adaptive epochs, the
-// type-erased traced lock adapter).
+// type-erased traced lock adapter) -- and, when enabled, the lockdep
+// lock-order detector's event source.
 inline void TraceEmit(TraceEventKind kind, std::uint32_t arg) {
+  if (g_lockdep_enabled.load(std::memory_order_relaxed)) {
+    LockdepOnTraceEvent(kind, arg);
+  }
   TraceBuffer* sink = tls_trace_sink;
   if (sink != nullptr) {
     sink->Emit(kind, arg);

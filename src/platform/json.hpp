@@ -1,0 +1,74 @@
+// Shared RFC 8259 JSON string escaping.
+//
+// Three writers in this repo emit strict JSON (MetricsRegistry::WriteJson,
+// TextTable::PrintJson, the Chrome trace exporter) and each grew its own
+// hand-rolled escaper; this is the one canonical implementation they all
+// call. Quotes and backslashes get their two-character escapes, the common
+// control characters their short forms, and every other control character a
+// \uXXXX escape -- exactly what a strict parser (python3 -m json.tool in CI,
+// Perfetto for traces) requires. Non-ASCII bytes pass through untouched:
+// JSON strings are UTF-8 and escaping them is neither required nor wanted.
+#ifndef SRC_PLATFORM_JSON_HPP_
+#define SRC_PLATFORM_JSON_HPP_
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace lockin {
+
+// Appends the escaped form of `text` (no surrounding quotes) to *out.
+inline void JsonEscape(std::string* out, std::string_view text) {
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out->append(buf);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+}
+
+// Returns the escaped form of `text` (no surrounding quotes).
+inline std::string JsonEscaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  JsonEscape(&out, text);
+  return out;
+}
+
+// Writes `text` as a complete JSON string literal, quotes included.
+inline void WriteJsonString(std::ostream& out, std::string_view text) {
+  out << '"' << JsonEscaped(text) << '"';
+}
+
+}  // namespace lockin
+
+#endif  // SRC_PLATFORM_JSON_HPP_

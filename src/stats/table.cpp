@@ -7,6 +7,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "src/platform/json.hpp"
+
 namespace lockin {
 
 std::string FormatDouble(double value, int precision) {
@@ -80,34 +82,7 @@ void TextTable::PrintCsv(std::ostream& out) const {
 }
 
 void TextTable::PrintJson(std::ostream& out) const {
-  auto emit_string = [&](const std::string& cell) {
-    out << '"';
-    for (const char ch : cell) {
-      if (ch == '"' || ch == '\\') {
-        out << '\\' << ch;
-      } else if (static_cast<unsigned char>(ch) < 0x20) {
-        // Control characters must survive round-tripping: the common ones
-        // get their short escapes, the rest \uXXXX (RFC 8259).
-        switch (ch) {
-          case '\n': out << "\\n"; break;
-          case '\t': out << "\\t"; break;
-          case '\r': out << "\\r"; break;
-          case '\b': out << "\\b"; break;
-          case '\f': out << "\\f"; break;
-          default: {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x",
-                          static_cast<unsigned>(static_cast<unsigned char>(ch)));
-            out << buf;
-            break;
-          }
-        }
-      } else {
-        out << ch;
-      }
-    }
-    out << '"';
-  };
+  auto emit_string = [&](const std::string& cell) { WriteJsonString(out, cell); };
   auto emit_value = [&](const std::string& cell) {
     // Unquoted when the whole cell parses as a finite number.
     if (!cell.empty()) {

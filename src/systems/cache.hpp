@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/platform/cacheline.hpp"
+#include "src/platform/thread_annotations.hpp"
 #include "src/systems/common.hpp"
 
 namespace lockin {
@@ -88,30 +89,31 @@ class MemCache {
   // per-shard mode exists to remove.
   struct alignas(kCacheLineSize) Shard {
     std::unique_ptr<LockHandle> lock;
-    std::vector<Slot> slots;       // power-of-two, linear probing
-    std::size_t used = 0;          // kFull entries
-    std::size_t occupied = 0;      // kFull + kTombstone (drives rehash)
-    std::uint64_t lru_clock = 0;   // per-shard ticket clock (kPerShard)
+    std::vector<Slot> slots LL_GUARDED_BY(*lock);  // power-of-two, linear probing
+    std::size_t used LL_GUARDED_BY(*lock) = 0;      // kFull entries
+    std::size_t occupied LL_GUARDED_BY(*lock) = 0;  // kFull + kTombstone (drives rehash)
+    std::uint64_t lru_clock LL_GUARDED_BY(*lock) = 0;  // per-shard ticket clock (kPerShard)
   };
 
   Shard& ShardFor(std::size_t hash) { return shards_[hash % shards_.size()]; }
 
   // All of these require the shard lock to be held.
-  Slot* FindSlot(Shard& shard, std::size_t hash, std::string_view key);
+  Slot* FindSlot(Shard& shard, std::size_t hash, std::string_view key)
+      LL_REQUIRES(*shard.lock);
   void Upsert(Shard& shard, std::size_t hash, const std::string& key, std::string&& value,
-              std::uint64_t ticket);
-  void GrowShard(Shard& shard);
-  void TombstoneSlot(Shard& shard, Slot& slot);
-  void EvictOneFrom(Shard& shard);
+              std::uint64_t ticket) LL_REQUIRES(*shard.lock);
+  void GrowShard(Shard& shard) LL_REQUIRES(*shard.lock);
+  void TombstoneSlot(Shard& shard, Slot& slot) LL_REQUIRES(*shard.lock);
+  void EvictOneFrom(Shard& shard) LL_REQUIRES(*shard.lock);
 
-  void EvictIfNeededGlobal();  // requires lru_lock_ held
+  void EvictIfNeededGlobal() LL_REQUIRES(*lru_lock_);
 
   Config config_;
   std::size_t per_shard_capacity_ = 0;  // kPerShard eviction budget
   std::vector<Shard> shards_;
   // Global LRU clock + eviction cursor, guarded by lru_lock_ (kGlobalLock).
   std::unique_ptr<LockHandle> lru_lock_;
-  std::uint64_t lru_clock_ = 0;
+  std::uint64_t lru_clock_ LL_GUARDED_BY(*lru_lock_) = 0;
   // Written under a lock (lru_lock_ or a shard lock depending on the LRU
   // mode) but read by the unsynchronized evictions() accessor: atomic with
   // relaxed ordering (it is a monotone statistic, not a synchronizer).

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/platform/thread_annotations.hpp"
 #include "src/systems/common.hpp"
 
 namespace lockin {
@@ -50,7 +51,9 @@ class CowList {
   std::shared_ptr<const Items> Load() const {
     return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
   }
-  void Store(std::shared_ptr<const Items> next) {
+  // Only writers install snapshots, and only under the lock (the atomic
+  // store orders the publish; the lock serializes the copy-update race).
+  void Store(std::shared_ptr<const Items> next) LL_REQUIRES(*lock_) {
     std::atomic_store_explicit(&snapshot_, std::move(next), std::memory_order_release);
   }
 

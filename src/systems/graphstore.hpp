@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/platform/thread_annotations.hpp"
 #include "src/systems/common.hpp"
 
 namespace lockin {
@@ -43,13 +44,16 @@ class GraphStore {
   std::vector<std::uint64_t> GetLinkList(std::uint64_t source, int type, std::size_t limit);
   std::size_t CountLinks(std::uint64_t source, int type);
 
-  std::uint64_t log_records() const { return log_records_; }
+  // Quiescent diagnostics: reads log-lock-guarded state without the lock;
+  // callers read it after their worker threads joined.
+  std::uint64_t log_records() const LL_NO_THREAD_SAFETY_ANALYSIS { return log_records_; }
 
  private:
   struct Shard {
     std::unique_ptr<LockHandle> lock;
-    std::unordered_map<std::uint64_t, std::string> nodes;
-    std::map<std::pair<std::uint64_t, int>, std::vector<std::uint64_t>> links;
+    std::unordered_map<std::uint64_t, std::string> nodes LL_GUARDED_BY(*lock);
+    std::map<std::pair<std::uint64_t, int>, std::vector<std::uint64_t>> links
+        LL_GUARDED_BY(*lock);
   };
 
   Shard& ShardFor(std::uint64_t id) { return shards_[id % shards_.size()]; }
@@ -58,9 +62,9 @@ class GraphStore {
   std::vector<Shard> shards_;
   // The log lock every write crosses (binlog group-commit point).
   std::unique_ptr<LockHandle> log_lock_;
-  std::uint64_t log_records_ = 0;
-  std::uint64_t next_node_id_ = 1;
+  std::uint64_t log_records_ LL_GUARDED_BY(*log_lock_) = 0;
   std::unique_ptr<LockHandle> id_lock_;
+  std::uint64_t next_node_id_ LL_GUARDED_BY(*id_lock_) = 1;
 };
 
 }  // namespace lockin

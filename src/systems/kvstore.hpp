@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/platform/thread_annotations.hpp"
 #include "src/systems/btree.hpp"
 #include "src/systems/common.hpp"
 
@@ -39,7 +40,7 @@ class KvStore {
 
  private:
   std::unique_ptr<LockHandle> db_lock_;
-  BPlusTree tree_;
+  BPlusTree tree_ LL_GUARDED_BY(*db_lock_);
 };
 
 }  // namespace lockin

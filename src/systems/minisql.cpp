@@ -38,15 +38,23 @@ std::uint64_t MiniSql::NewOrder(int warehouse, int district, const std::vector<i
       (static_cast<std::uint64_t>(DistrictKey(warehouse, district)) << 32) | d.next_order_id;
   d.next_order_id++;
   order_counter_++;
-  for (int item : item_ids) {
-    const int quantity = 1 + static_cast<int>(rng->NextBelow(10));
-    order_lines_.push_back(OrderLine{order_id, item, quantity});
-    const std::size_t index = static_cast<std::size_t>(warehouse) *
-                                  static_cast<std::size_t>(config_.items) +
-                              static_cast<std::size_t>(item);
-    stock_[index] -= quantity;
-    if (stock_[index] < 10) {
-      stock_[index] += 91;  // TPC-C restock rule
+  {
+    // Stock lives in the page cache: the writer re-enters the pager lock
+    // for the updates (write -> pager nesting; the read phase above
+    // released its pager guard before the write lock was taken, so the
+    // order is acyclic). Without this, the NEW-ORDER stock writes race the
+    // pager-lock-only readers in StockLevel and the read phase.
+    HandleGuard pager(*pager_lock_);
+    for (int item : item_ids) {
+      const int quantity = 1 + static_cast<int>(rng->NextBelow(10));
+      order_lines_.push_back(OrderLine{order_id, item, quantity});
+      const std::size_t index = static_cast<std::size_t>(warehouse) *
+                                    static_cast<std::size_t>(config_.items) +
+                                static_cast<std::size_t>(item);
+      stock_[index] -= quantity;
+      if (stock_[index] < 10) {
+        stock_[index] += 91;  // TPC-C restock rule
+      }
     }
   }
   if (order_lines_.size() > 200000) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/platform/rng.hpp"
+#include "src/platform/thread_annotations.hpp"
 #include "src/systems/common.hpp"
 
 namespace lockin {
@@ -73,11 +74,14 @@ class MiniSql {
   std::unique_ptr<LockHandle> write_lock_;
   std::unique_ptr<LockHandle> pager_lock_;
 
-  std::vector<Warehouse> warehouses_;
-  std::vector<int> stock_;                   // [warehouse * items + item]
-  std::map<std::uint64_t, double> customers_;  // balances
-  std::vector<OrderLine> order_lines_;
-  std::uint64_t order_counter_ = 0;
+  std::vector<Warehouse> warehouses_ LL_GUARDED_BY(*write_lock_);
+  // Stock is page-cache state: read under the pager lock by NEW-ORDER's
+  // read phase and STOCK-LEVEL, and updated by writers holding the pager
+  // lock *inside* their write transaction (lock order: write -> pager).
+  std::vector<int> stock_ LL_GUARDED_BY(*pager_lock_);  // [warehouse * items + item]
+  std::map<std::uint64_t, double> customers_ LL_GUARDED_BY(*write_lock_);  // balances
+  std::vector<OrderLine> order_lines_ LL_GUARDED_BY(*write_lock_);
+  std::uint64_t order_counter_ LL_GUARDED_BY(*write_lock_) = 0;
 };
 
 }  // namespace lockin

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/platform/thread_annotations.hpp"
 #include "src/systems/btree.hpp"
 #include "src/systems/common.hpp"
 
@@ -48,7 +49,7 @@ class CacheDb final : public NosqlDb {
 
  private:
   std::unique_ptr<LockHandle> lock_;
-  std::unordered_map<std::uint64_t, std::string> map_;
+  std::unordered_map<std::uint64_t, std::string> map_ LL_GUARDED_BY(*lock_);
 };
 
 // HT DB: hash database with a small number of bucket-region locks (Kyoto
@@ -67,7 +68,7 @@ class HashDb final : public NosqlDb {
  private:
   struct Region {
     std::unique_ptr<LockHandle> lock;
-    std::unordered_map<std::uint64_t, std::string> map;
+    std::unordered_map<std::uint64_t, std::string> map LL_GUARDED_BY(*lock);
   };
   Region& RegionFor(std::uint64_t key);
 
@@ -89,7 +90,7 @@ class TreeDb final : public NosqlDb {
 
  private:
   std::unique_ptr<LockHandle> lock_;
-  BPlusTree tree_;
+  BPlusTree tree_ LL_GUARDED_BY(*lock_);
 };
 
 }  // namespace lockin

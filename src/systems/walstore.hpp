@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/locks/condvar.hpp"
+#include "src/platform/thread_annotations.hpp"
 #include "src/systems/common.hpp"
 
 namespace lockin {
@@ -39,8 +40,10 @@ class WalStore {
   void Delete(std::uint64_t key);
 
   std::size_t MemtableSize();
-  std::uint64_t wal_records() const { return wal_records_; }
-  std::uint64_t batches() const { return batches_; }
+  // Quiescent diagnostics: read db-lock-guarded counters without the lock;
+  // callers read them after their worker threads joined.
+  std::uint64_t wal_records() const LL_NO_THREAD_SAFETY_ANALYSIS { return wal_records_; }
+  std::uint64_t batches() const LL_NO_THREAD_SAFETY_ANALYSIS { return batches_; }
 
  private:
   struct WriteRequest {
@@ -52,21 +55,21 @@ class WalStore {
   };
 
   // Applies all queued writes (leader path). Called with db_lock_ held.
-  void RunBatchLocked();
+  void RunBatchLocked() LL_REQUIRES(*db_lock_);
 
   std::unique_ptr<LockHandle> db_lock_;
   CondVar queue_cv_;
-  std::deque<WriteRequest*> queue_;
-  bool batch_running_ = false;
-  std::uint64_t next_sequence_ = 1;
-  std::uint64_t wal_records_ = 0;
-  std::uint64_t batches_ = 0;
-  std::vector<std::string> wal_;  // simulated WAL tail (bounded)
+  std::deque<WriteRequest*> queue_ LL_GUARDED_BY(*db_lock_);
+  bool batch_running_ LL_GUARDED_BY(*db_lock_) = false;
+  std::uint64_t next_sequence_ LL_GUARDED_BY(*db_lock_) = 1;
+  std::uint64_t wal_records_ LL_GUARDED_BY(*db_lock_) = 0;
+  std::uint64_t batches_ LL_GUARDED_BY(*db_lock_) = 0;
+  std::vector<std::string> wal_ LL_GUARDED_BY(*db_lock_);  // simulated WAL tail (bounded)
 
   // Memtable guarded by a separate short lock so reads do not cross the
   // write queue.
   std::unique_ptr<LockHandle> read_lock_;
-  std::map<std::uint64_t, std::string> memtable_;
+  std::map<std::uint64_t, std::string> memtable_ LL_GUARDED_BY(*read_lock_);
 };
 
 }  // namespace lockin

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/analysis/lockdep.hpp"
 #include "src/energy/model_meter.hpp"
 #include "src/energy/power_model.hpp"
 #include "src/obs/sampler.hpp"
@@ -136,6 +137,12 @@ ScenarioResult RunScenario(ScenarioWorkload& workload, const ScenarioConfig& con
                                                       config.trace_buffer_events);
   }
   ScopedTraceSink driver_sink(driver_trace);
+
+  // LockLint: arm the lock-order detector for the whole run (setup included
+  // -- preload-time inversions are inversions too). The scenario's locks
+  // are TracedHandle-wrapped by MakeLockFactory when config.lockdep is set,
+  // so every acquire/release feeds the acquisition graph.
+  ScopedLockdep lockdep_scope(config.lockdep || LockdepIsEnabled());
 
   TraceEmit(TraceEventKind::kPhaseBegin, 0);
   workload.Setup(config);

@@ -80,6 +80,11 @@ struct ScenarioConfig {
   // and emit nothing.
   bool trace = false;
   std::uint32_t trace_buffer_events = TraceBuffer::kDefaultCapacity;
+  // lockdep: enable the LockLint lock-order detector for the run and wrap
+  // the scenario's locks in TracedHandle (the acquire/release event source;
+  // see src/analysis/lockdep.hpp). Independent of `trace`: lockdep needs
+  // the wrappers' events but not the per-thread rings.
+  bool lockdep = false;
   // Energy accounting for the run phase. kAuto follows the meter fallback
   // chain (RAPL -> model); the model integrates the run's worker contexts
   // as active. result.energy/Tpp() report the outcome.
@@ -95,7 +100,7 @@ struct ScenarioConfig {
   // builds in a TracedHandle.
   LockFactory MakeLockFactory() const {
     LockFactory factory = NamedLockFactory(lock_name, yield_after);
-    if (!trace) {
+    if (!trace && !lockdep) {
       return factory;
     }
     return [factory = std::move(factory)] { return WrapTraced(factory()); };

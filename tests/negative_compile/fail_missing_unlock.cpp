@@ -1,0 +1,17 @@
+// Negative-compilation case: a lock acquired through an LL_ACQUIRE function
+// is still held when the function returns. Under clang -Wthread-safety
+// -Werror this file MUST NOT compile (registered WILL_FAIL by
+// CMakeLists.txt).
+#include "src/locks/spinlocks.hpp"
+
+namespace {
+
+lockin::TtasLock g_lock;
+
+}  // namespace
+
+int main() {
+  g_lock.lock();
+  // The violation: no matching unlock() before the end of the function.
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Negative-compilation case: calling an LL_REQUIRES(lock) function without
+// holding the lock. Under clang -Wthread-safety -Werror this file MUST NOT
+// compile (registered WILL_FAIL by CMakeLists.txt).
+#include "src/locks/spinlocks.hpp"
+#include "src/platform/thread_annotations.hpp"
+
+namespace {
+
+lockin::TicketLock g_lock;
+int g_value LL_GUARDED_BY(g_lock) = 0;
+
+void BumpLocked() LL_REQUIRES(g_lock) { ++g_value; }
+
+}  // namespace
+
+int main() {
+  // The violation: g_lock is not held at this call.
+  BumpLocked();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Negative-compilation case: reading an LL_GUARDED_BY member without
+// holding its lock. Under clang -Wthread-safety -Werror this file MUST NOT
+// compile; the CMake harness registers it with WILL_FAIL (see the
+// negative-compilation section of CMakeLists.txt).
+#include "src/locks/lock_api.hpp"
+#include "src/locks/spinlocks.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    lockin::LockGuard<lockin::TasLock> guard(lock_);
+    balance_ += amount;
+  }
+
+  // The violation: balance_ is guarded by lock_, and nothing is held here.
+  long UnsafePeek() { return balance_; }
+
+ private:
+  lockin::TasLock lock_;
+  long balance_ LL_GUARDED_BY(lock_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return static_cast<int>(account.UnsafePeek());
+}

@@ -1,0 +1,52 @@
+// Positive control for the negative-compilation harness: idiomatic use of
+// every annotated pattern. This file MUST compile cleanly under clang
+// -Wthread-safety -Werror; if it fails, the harness (not the fail_* cases)
+// is broken.
+#include "src/locks/lock_api.hpp"
+#include "src/locks/spinlocks.hpp"
+
+namespace {
+
+// GUARDED_BY member accessed only through the scoped guard.
+class Account {
+ public:
+  void Deposit(long amount) {
+    lockin::LockGuard<lockin::TasLock> guard(lock_);
+    balance_ += amount;
+  }
+  long Balance() {
+    lockin::LockGuard<lockin::TasLock> guard(lock_);
+    return balance_;
+  }
+
+ private:
+  lockin::TasLock lock_;
+  long balance_ LL_GUARDED_BY(lock_) = 0;
+};
+
+// REQUIRES function called with the lock visibly held.
+lockin::TicketLock g_lock;
+int g_value LL_GUARDED_BY(g_lock) = 0;
+
+void BumpLocked() LL_REQUIRES(g_lock) { ++g_value; }
+
+// Type-erased tier: HandleGuard over a LockHandle capability.
+void HandlePath() {
+  lockin::LockAdapter<lockin::TtasLock> handle("TTAS");
+  lockin::HandleGuard guard(handle);
+}
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  const long total = account.Balance();
+
+  g_lock.lock();
+  BumpLocked();
+  g_lock.unlock();
+
+  HandlePath();
+  return static_cast<int>(total);
+}
