@@ -32,7 +32,22 @@
 //                     model, off
 //   --sample-ms N     sample the meter every N ms into an energy series
 //                     (and a watts counter track when tracing)
+//
+// FailSafe robustness flags:
+//   --failpoints SPEC arm named failpoints for the runs (grammar in
+//                     src/platform/failpoint.hpp, e.g. futex/wait=p0.01)
+//   --chaos           arm the default chaos profile (DefaultChaosSpec)
+//   --deadline-us N   per-op deadline: shed ops whose entry lock cannot be
+//                     acquired within N microseconds (after retries)
+//   --op-retries N    deadline-miss retries before shedding (default 3)
+//   --watchdog-ms N   stall watchdog: a worker making no progress for N ms
+//                     dumps held locks + failpoints and aborts (exit 3)
+//   --no-watchdog-abort  count stalls instead of aborting
+//
+// SIGINT/SIGTERM stop the runs cleanly: partial results, traces and metrics
+// are still written, and the process exits with 128 + signal.
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,12 +61,23 @@
 #include "src/obs/export.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/platform/cycles.hpp"
+#include "src/platform/failpoint.hpp"
 #include "src/stats/table.hpp"
 #include "src/systems/workload_api.hpp"
 
 namespace {
 
 using namespace lockin;
+
+// Signal-to-stop wiring: the handler only stores to atomics; the driver's
+// workers poll g_stop via ScenarioConfig::external_stop.
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal{0};
+
+void HandleStopSignal(int sig) {
+  g_stop.store(true, std::memory_order_relaxed);
+  g_signal.store(sig, std::memory_order_relaxed);
+}
 
 struct RunnerOptions {
   bool list = false;
@@ -71,6 +97,12 @@ struct RunnerOptions {
   bool lockdep = false;
   std::string meter = "auto";
   long sample_ms = 0;
+  std::string failpoints;
+  bool chaos = false;
+  long deadline_us = 0;
+  long op_retries = -1;  // -1 = keep the ScenarioConfig default
+  long watchdog_ms = 0;
+  bool watchdog_abort = true;
 };
 
 void PrintUsage(const char* prog, std::FILE* out) {
@@ -78,7 +110,9 @@ void PrintUsage(const char* prog, std::FILE* out) {
                "usage: %s --list | --scenario NAME | --all [options]\n"
                "  --lock NAME|all  --threads N  --ops N  --seconds S  --seed N\n"
                "  --read-percent P  --key-space N  --json  --quick\n"
-               "  --trace FILE  --metrics  --lockdep  --meter auto|model|off  --sample-ms N\n",
+               "  --trace FILE  --metrics  --lockdep  --meter auto|model|off  --sample-ms N\n"
+               "  --failpoints SPEC  --chaos  --deadline-us N  --op-retries N\n"
+               "  --watchdog-ms N  --no-watchdog-abort\n",
                prog);
 }
 
@@ -155,6 +189,18 @@ RunnerOptions ParseArgs(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--sample-ms") == 0) {
       options.sample_ms = int_of(i, "--sample-ms", 1, 60000);
+    } else if (std::strcmp(argv[i], "--failpoints") == 0) {
+      options.failpoints = value_of(i, "--failpoints");
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      options.chaos = true;
+    } else if (std::strcmp(argv[i], "--deadline-us") == 0) {
+      options.deadline_us = int_of(i, "--deadline-us", 1, 1000000000);
+    } else if (std::strcmp(argv[i], "--op-retries") == 0) {
+      options.op_retries = int_of(i, "--op-retries", 0, 1000000);
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0) {
+      options.watchdog_ms = int_of(i, "--watchdog-ms", 1, 3600000);
+    } else if (std::strcmp(argv[i], "--no-watchdog-abort") == 0) {
+      options.watchdog_abort = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       PrintUsage(argv[0], stdout);
       std::exit(0);
@@ -190,6 +236,17 @@ void EmitJson(const ScenarioResult& r, bool record_latency) {
                 static_cast<unsigned long long>(r.op_latency_cycles.P99()),
                 static_cast<unsigned long long>(r.op_latency_cycles.max()));
   }
+  // FailSafe accounting: only printed when nonzero so default runs keep
+  // byte-identical output.
+  if (r.ops_shed != 0 || r.shed_retries != 0) {
+    std::printf(", \"ops_shed\": %llu, \"shed_retries\": %llu",
+                static_cast<unsigned long long>(r.ops_shed),
+                static_cast<unsigned long long>(r.shed_retries));
+  }
+  if (r.watchdog_stalls != 0) {
+    std::printf(", \"watchdog_stalls\": %llu",
+                static_cast<unsigned long long>(r.watchdog_stalls));
+  }
   if (!r.meter_name.empty()) {
     // Dedicated fields, not scenario metrics: the metrics below print with
     // %.0f (they are counters) and sub-Joule values would truncate to 0.
@@ -204,13 +261,41 @@ void EmitJson(const ScenarioResult& r, bool record_latency) {
 
 std::string MetricsToString(const ScenarioResult& r) {
   std::string out;
-  for (const ScenarioMetric& metric : r.metrics) {
+  const auto append = [&out](const std::string& name, double value) {
     if (!out.empty()) {
       out += " ";
     }
-    out += metric.name + "=" + FormatDouble(metric.value, 0);
+    out += name + "=" + FormatDouble(value, 0);
+  };
+  for (const ScenarioMetric& metric : r.metrics) {
+    append(metric.name, metric.value);
+  }
+  if (r.ops_shed != 0 || r.shed_retries != 0) {
+    append("ops_shed", static_cast<double>(r.ops_shed));
+    append("shed_retries", static_cast<double>(r.shed_retries));
+  }
+  if (r.watchdog_stalls != 0) {
+    append("watchdog_stalls", static_cast<double>(r.watchdog_stalls));
   }
   return out;
+}
+
+// Writes the collected trace rings as a Chrome trace-event file. Shared by
+// the normal end-of-run path and the watchdog/signal flush paths.
+bool WriteTraceFile(const std::string& path, const std::string& process_name) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  ChromeTraceOptions trace_options;
+  trace_options.cycles_per_us = CyclesPerNs() * 1000.0;
+  trace_options.process_name = process_name;
+  TraceSession& session = TraceSession::Instance();
+  const std::vector<TraceEvent> events = session.Collect();
+  WriteChromeTrace(out, events, trace_options);
+  std::fprintf(stderr, "trace: %zu events -> %s (%llu dropped)\n", events.size(), path.c_str(),
+               static_cast<unsigned long long>(session.dropped()));
+  return true;
 }
 
 }  // namespace
@@ -221,6 +306,8 @@ int main(int argc, char** argv) {
     ListScenarios(options.json);
     return 0;
   }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
 
   if (options.all && !options.scenario.empty()) {
     Fail(argv[0], "--all and --scenario are mutually exclusive");
@@ -245,8 +332,10 @@ int main(int argc, char** argv) {
   if (options.lock == "all") {
     lock_names = RegisteredLockNames();
   } else {
-    if (MakeLock(options.lock) == nullptr) {
-      std::fprintf(stderr, "%s: unknown lock: %s\n", argv[0], options.lock.c_str());
+    try {
+      MakeLockOrThrow(options.lock);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
       return 2;
     }
     lock_names.push_back(options.lock);
@@ -274,16 +363,58 @@ int main(int argc, char** argv) {
                                             : MeterChoice::kAuto;
   config.energy_sample_ms = static_cast<std::uint32_t>(options.sample_ms);
 
+  if (options.chaos && !options.failpoints.empty()) {
+    Fail(argv[0], "--chaos and --failpoints are mutually exclusive");
+  }
+  config.failpoints = options.chaos ? DefaultChaosSpec() : options.failpoints;
+  if (!config.failpoints.empty()) {
+    // Validate the spec up front: a typo should fail with the parser's
+    // site-enumerating message before any scenario runs.
+    try {
+      ScopedFailpoints probe(config.failpoints, config.seed);
+    } catch (const std::exception& error) {
+      Fail(argv[0], error.what());
+    }
+  }
+  config.op_deadline_ns = static_cast<std::uint64_t>(options.deadline_us) * 1000;
+  if (options.op_retries >= 0) {
+    config.op_retries = static_cast<std::uint32_t>(options.op_retries);
+  }
+  config.watchdog_ms = static_cast<std::uint32_t>(options.watchdog_ms);
+  config.watchdog_abort = options.watchdog_abort;
+  config.external_stop = &g_stop;
+
   if (config.trace && scenario_names.size() * lock_names.size() != 1) {
     Fail(argv[0], "--trace captures one run; pick a single --scenario and --lock");
   }
+
+  // Before an aborting watchdog kills the process, flush whatever
+  // observability outputs were requested (best-effort: workers may still be
+  // appending to their trace rings while we collect).
+  const std::string trace_process_name =
+      "scenario_runner " + scenario_names.front() + " / " + lock_names.front();
+  config.on_stall = [&options, &trace_process_name] {
+    if (!options.trace_path.empty()) {
+      WriteTraceFile(options.trace_path, trace_process_name);
+    }
+    if (options.metrics) {
+      MetricsRegistry::Instance().WriteJson(std::cout);
+    }
+    std::fflush(nullptr);
+  };
 
   // Table latencies in nanoseconds via the calibrated cycle counter
   // (src/platform/cycles.hpp); --json keeps raw cycles.
   TextTable table({"scenario", "lock", "threads", "Mops/s", "p50_ns", "p99_ns", "joules",
                    "TPP(op/J)", "metrics"});
   for (const std::string& scenario : scenario_names) {
+    if (g_stop.load(std::memory_order_relaxed)) {
+      break;  // interrupted: flush what completed, skip the rest
+    }
     for (const std::string& lock : lock_names) {
+      if (g_stop.load(std::memory_order_relaxed)) {
+        break;
+      }
       config.lock_name = lock;
       ScenarioResult result;
       try {
@@ -310,21 +441,11 @@ int main(int argc, char** argv) {
   }
 
   if (config.trace) {
-    std::ofstream out(options.trace_path);
-    if (!out) {
+    if (!WriteTraceFile(options.trace_path, trace_process_name)) {
       std::fprintf(stderr, "%s: cannot open trace file: %s\n", argv[0],
                    options.trace_path.c_str());
       return 1;
     }
-    ChromeTraceOptions trace_options;
-    trace_options.cycles_per_us = CyclesPerNs() * 1000.0;
-    trace_options.process_name =
-        "scenario_runner " + scenario_names.front() + " / " + lock_names.front();
-    TraceSession& session = TraceSession::Instance();
-    const std::vector<TraceEvent> events = session.Collect();
-    WriteChromeTrace(out, events, trace_options);
-    std::fprintf(stderr, "trace: %zu events -> %s (%llu dropped)\n", events.size(),
-                 options.trace_path.c_str(), static_cast<unsigned long long>(session.dropped()));
   }
   if (options.metrics) {
     MetricsRegistry::Instance().WriteJson(std::cout);
@@ -341,6 +462,11 @@ int main(int argc, char** argv) {
     if (!reports.empty()) {
       return 1;
     }
+  }
+  const int sig = g_signal.load(std::memory_order_relaxed);
+  if (sig != 0) {
+    std::fprintf(stderr, "%s: interrupted by signal %d; partial results flushed\n", argv[0], sig);
+    return 128 + sig;
   }
   return 0;
 }

@@ -24,19 +24,55 @@ constexpr std::uint32_t kEdgeCapacity = 4096; // power of two
 constexpr std::uint32_t kMaxProbe = 128;      // open-addressing probe cap
 constexpr std::uint32_t kMaxReports = 64;
 constexpr std::uint32_t kMaxNamedSites = 512;
+constexpr std::uint32_t kHeldSlotPool = 256;  // concurrent traced threads
 
-// The per-thread stack of currently-held acquisition sites. Only the
-// owning thread touches it; the generation tag lets LockdepReset()
-// invalidate every thread's stack without reaching into foreign TLS.
-struct HeldStack {
-  std::uint64_t generation = 0;
-  std::uint32_t depth = 0;
-  std::uint32_t sites[kMaxHeld] = {};
+// The per-thread stack of currently-held acquisition sites. Slots live in
+// a global pool so a *foreign* thread (the FailSafe stall watchdog) can
+// snapshot what a wedged worker holds: the owner is the only writer, the
+// fields are relaxed/acquire-release atomics, and a thread claims a slot
+// on first use and returns it at thread exit -- no dangling TLS pointers.
+// The generation tag lets LockdepReset() invalidate every stack lazily.
+struct HeldSlot {
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<std::uint32_t> sites[kMaxHeld]{};
+  std::atomic<bool> in_use{false};
 };
 
-thread_local constinit HeldStack tls_held;
+HeldSlot g_held_slots[kHeldSlotPool];
 
 std::atomic<std::uint64_t> g_generation{1};
+
+// Claims a pool slot for the thread's lifetime; threads beyond the pool
+// fall back to a private slot the watchdog cannot see (the checks still
+// run, only the cross-thread dump loses them).
+struct SlotHolder {
+  HeldSlot* slot = nullptr;
+  HeldSlot fallback;
+
+  SlotHolder() {
+    for (HeldSlot& candidate : g_held_slots) {
+      bool expected = false;
+      if (candidate.in_use.compare_exchange_strong(expected, true,
+                                                   std::memory_order_acq_rel)) {
+        candidate.depth.store(0, std::memory_order_relaxed);
+        candidate.generation.store(g_generation.load(std::memory_order_relaxed),
+                                   std::memory_order_relaxed);
+        slot = &candidate;
+        return;
+      }
+    }
+  }
+
+  ~SlotHolder() {
+    if (slot != nullptr) {
+      slot->depth.store(0, std::memory_order_relaxed);
+      slot->in_use.store(false, std::memory_order_release);
+    }
+  }
+};
+
+thread_local SlotHolder tls_slot_holder;
 
 // The acquisition graph: a fixed open-addressed set of packed
 // (from << 32 | to) keys. Site ids start at 1 (NextTraceSiteId), so 0 is
@@ -243,20 +279,26 @@ void ReportSingleSite(LockdepViolationKind kind, std::uint32_t site) {
   RecordReportLocked(kind, chain, 1);
 }
 
-HeldStack& CurrentStack() {
-  HeldStack& stack = tls_held;
+// The calling thread's slot: its pooled one, or the invisible fallback
+// when the pool is exhausted. Only the owner writes; all owner accesses
+// are relaxed except the depth increment, which releases the pushed site
+// to snapshot readers.
+HeldSlot& CurrentStack() {
+  SlotHolder& holder = tls_slot_holder;
+  HeldSlot& slot = holder.slot != nullptr ? *holder.slot : holder.fallback;
   const std::uint64_t generation = g_generation.load(std::memory_order_relaxed);
-  if (stack.generation != generation) {
-    stack.depth = 0;
-    stack.generation = generation;
+  if (slot.generation.load(std::memory_order_relaxed) != generation) {
+    slot.depth.store(0, std::memory_order_relaxed);
+    slot.generation.store(generation, std::memory_order_relaxed);
   }
-  return stack;
+  return slot;
 }
 
 void OnAcquireBegin(std::uint32_t site) {
-  HeldStack& stack = CurrentStack();
-  for (std::uint32_t i = 0; i < stack.depth; ++i) {
-    if (stack.sites[i] == site) {
+  HeldSlot& stack = CurrentStack();
+  const std::uint32_t depth = stack.depth.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    if (stack.sites[i].load(std::memory_order_relaxed) == site) {
       ReportSingleSite(LockdepViolationKind::kSelfDeadlock, site);
       return;
     }
@@ -264,8 +306,8 @@ void OnAcquireBegin(std::uint32_t site) {
   // Acquiring `site` while holding the stack: record every held -> site
   // ordering. Cycle analysis only runs when an edge is genuinely new, so
   // steady-state acquires cost one table probe per held lock.
-  for (std::uint32_t i = 0; i < stack.depth; ++i) {
-    const std::uint32_t held = stack.sites[i];
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    const std::uint32_t held = stack.sites[i].load(std::memory_order_relaxed);
     if (held == site) {
       continue;
     }
@@ -276,24 +318,28 @@ void OnAcquireBegin(std::uint32_t site) {
 }
 
 void OnAcquired(std::uint32_t site) {
-  HeldStack& stack = CurrentStack();
-  if (stack.depth >= kMaxHeld) {
+  HeldSlot& stack = CurrentStack();
+  const std::uint32_t depth = stack.depth.load(std::memory_order_relaxed);
+  if (depth >= kMaxHeld) {
     g_counters.held_stack_overflows.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  stack.sites[stack.depth++] = site;
+  stack.sites[depth].store(site, std::memory_order_relaxed);
+  stack.depth.store(depth + 1, std::memory_order_release);
 }
 
 void OnReleased(std::uint32_t site) {
-  HeldStack& stack = CurrentStack();
+  HeldSlot& stack = CurrentStack();
+  const std::uint32_t depth = stack.depth.load(std::memory_order_relaxed);
   // Releases may be out of LIFO order (hand-over-hand), so remove the most
   // recent matching entry wherever it sits.
-  for (std::uint32_t i = stack.depth; i > 0; --i) {
-    if (stack.sites[i - 1] == site) {
-      for (std::uint32_t j = i - 1; j + 1 < stack.depth; ++j) {
-        stack.sites[j] = stack.sites[j + 1];
+  for (std::uint32_t i = depth; i > 0; --i) {
+    if (stack.sites[i - 1].load(std::memory_order_relaxed) == site) {
+      for (std::uint32_t j = i - 1; j + 1 < depth; ++j) {
+        stack.sites[j].store(stack.sites[j + 1].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
       }
-      --stack.depth;
+      stack.depth.store(depth - 1, std::memory_order_release);
       return;
     }
   }
@@ -342,6 +388,59 @@ LockdepStats LockdepGetStats() {
   stats.sleeps_while_holding =
       g_counters.sleeps_while_holding.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::vector<LockdepHeldThread> LockdepHeldSnapshot() {
+  std::vector<LockdepHeldThread> out;
+  const std::uint64_t generation = g_generation.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < kHeldSlotPool; ++i) {
+    HeldSlot& slot = g_held_slots[i];
+    if (!slot.in_use.load(std::memory_order_acquire)) {
+      continue;
+    }
+    if (slot.generation.load(std::memory_order_relaxed) != generation) {
+      continue;  // stale stack from before the last LockdepReset
+    }
+    // The acquire pairs with the owner's release on depth: every site at
+    // index < depth is visible. The owner may race ahead of us -- this is
+    // a diagnostic snapshot, not a barrier.
+    std::uint32_t depth = slot.depth.load(std::memory_order_acquire);
+    if (depth == 0) {
+      continue;
+    }
+    depth = depth < kMaxHeld ? depth : kMaxHeld;
+    LockdepHeldThread held;
+    held.slot = i;
+    held.sites.reserve(depth);
+    for (std::uint32_t j = 0; j < depth; ++j) {
+      held.sites.push_back(slot.sites[j].load(std::memory_order_relaxed));
+    }
+    out.push_back(std::move(held));
+  }
+  return out;
+}
+
+std::string LockdepHeldDescribe() {
+  std::string out;
+  for (const LockdepHeldThread& held : LockdepHeldSnapshot()) {
+    out += "  thread-slot ";
+    out += std::to_string(held.slot);
+    out += " holds:";
+    for (const std::uint32_t site : held.sites) {
+      out += " site ";
+      out += std::to_string(site);
+      if (site < kMaxNamedSites && g_site_names[site][0] != '\0') {
+        out += " (";
+        out += g_site_names[site];
+        out += ")";
+      }
+    }
+    out += "\n";
+  }
+  if (out.empty()) {
+    out = "  (no traced locks held, or lockdep is disabled)\n";
+  }
+  return out;
 }
 
 void LockdepRegisterSiteName(std::uint32_t site, const std::string& name) {
@@ -394,7 +493,7 @@ void LockdepOnTraceEvent(TraceEventKind kind, std::uint32_t arg) {
       }
       break;
     case TraceEventKind::kFutexSleepBegin:
-      if (CurrentStack().depth > 0) {
+      if (CurrentStack().depth.load(std::memory_order_relaxed) > 0) {
         g_counters.sleeps_while_holding.fetch_add(1, std::memory_order_relaxed);
       }
       break;

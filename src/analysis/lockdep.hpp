@@ -108,6 +108,22 @@ void LockdepReset();
 std::vector<LockdepReport> LockdepReports();
 LockdepStats LockdepGetStats();
 
+// One live thread's currently-held traced sites, as seen from outside.
+struct LockdepHeldThread {
+  std::uint32_t slot = 0;  // pool slot index (stable for the thread's life)
+  std::vector<std::uint32_t> sites;
+};
+
+// Best-effort cross-thread snapshot of what every traced thread currently
+// holds. Used by the FailSafe stall watchdog to dump the held-lock state
+// of wedged workers. Reads the owner threads' stacks via acquire loads --
+// safe to call from any thread at any time; only meaningful while lockdep
+// is enabled (with it off no acquire ever reaches the stacks).
+std::vector<LockdepHeldThread> LockdepHeldSnapshot();
+
+// The snapshot as indented human-readable lines for stall reports.
+std::string LockdepHeldDescribe();
+
 // Labels an acquisition site for reports ("site 3 (TICKET)"). TracedHandle
 // registers its lock's registry name automatically; TracedLock sites and
 // sites beyond the fixed name-table capacity stay unlabeled.

@@ -5,9 +5,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <climits>
 #include <ctime>
 
 #include "src/obs/trace.hpp"
+#include "src/platform/failpoint.hpp"
 
 namespace lockin {
 namespace {
@@ -41,6 +43,12 @@ FutexWaitResult WaitResultFromErrno(long rc) {
 // round-trips everywhere. The emit is one thread-local load + branch next
 // to a syscall, i.e. noise; with no sink installed it is the branch alone.
 FutexWaitResult FutexWait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
+  // FailSafe: a fired futex/wait returns without sleeping -- a spurious
+  // wake, which every caller's wait loop must already tolerate (the kernel
+  // is allowed to do the same). Delay rules stall before the sleep.
+  if (FailpointFired(FailpointId::kFutexWait)) {
+    return FutexWaitResult::kInterrupted;
+  }
   TraceEmit(TraceEventKind::kFutexSleepBegin, 0);
   const long rc = RawFutex(addr, FUTEX_WAIT_PRIVATE, expected, nullptr);
   const FutexWaitResult result = WaitResultFromErrno(rc);
@@ -53,6 +61,9 @@ FutexWaitResult FutexWaitTimeout(std::atomic<std::uint32_t>* addr, std::uint32_t
   if (timeout_ns == 0) {
     return FutexWait(addr, expected);
   }
+  if (FailpointFired(FailpointId::kFutexWait)) {
+    return FutexWaitResult::kInterrupted;
+  }
   timespec ts;
   ts.tv_sec = static_cast<time_t>(timeout_ns / 1000000000ULL);
   ts.tv_nsec = static_cast<long>(timeout_ns % 1000000000ULL);
@@ -64,6 +75,13 @@ FutexWaitResult FutexWaitTimeout(std::atomic<std::uint32_t>* addr, std::uint32_t
 }
 
 int FutexWake(std::atomic<std::uint32_t>* addr, int count) {
+  // FailSafe: a fired futex/wake wakes EVERY waiter (thundering herd)
+  // instead of `count`. Skipping the wake would deadlock correct code, so
+  // the chaos direction is over-waking; losing a wake is not a bug any
+  // lock protocol is expected to survive.
+  if (FailpointFired(FailpointId::kFutexWake)) {
+    count = INT_MAX;
+  }
   const long rc = RawFutex(addr, FUTEX_WAKE_PRIVATE, static_cast<std::uint32_t>(count), nullptr);
   const int woken = rc < 0 ? 0 : static_cast<int>(rc);
   TraceEmit(TraceEventKind::kFutexWake, static_cast<std::uint32_t>(woken));

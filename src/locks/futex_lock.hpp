@@ -60,6 +60,23 @@ class LL_CAPABILITY("mutex") FutexLock {
                                           std::memory_order_relaxed);
   }
 
+  // Timed acquisition (FailSafe tier): same protocol as lock(), but the
+  // sleep phase uses timed futex waits against a deadline. Returns false
+  // when the deadline passes without the lock. A timed-out waiter may
+  // leave state at 2, costing the next unlock one futile wake -- the same
+  // benign over-wake the protocol already tolerates.
+  bool try_lock_for_ns(std::uint64_t timeout_ns) LL_TRY_ACQUIRE(true) {
+    for (std::uint32_t attempt = 0; attempt < config_.spin_tries; ++attempt) {
+      std::uint32_t expected = 0;
+      if (state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+      SpinPause(config_.pause);
+    }
+    return LockSlowTimed(timeout_ns);
+  }
+
   void unlock() LL_RELEASE() {
     // Release in user space; wake one sleeper only when waiters were
     // advertised (state 2).
@@ -74,6 +91,7 @@ class LL_CAPABILITY("mutex") FutexLock {
  private:
   // Sleep phase: advertise waiters by moving to state 2, then futex-wait.
   void LockSlow();
+  bool LockSlowTimed(std::uint64_t timeout_ns);
 
   FutexLockConfig config_{};
   FutexStats stats_;

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "src/analysis/lockdep.hpp"
+#include "src/locks/backoff.hpp"
 #include "src/obs/trace.hpp"
 #include "src/platform/thread_annotations.hpp"
 
@@ -29,6 +30,14 @@ concept Lockable = requires(L lock) {
   lock.lock();
   lock.unlock();
   { lock.try_lock() } -> std::convertible_to<bool>;
+};
+
+// Locks with a native bounded-wait acquisition (FutexLock, MutexeeLock,
+// PthreadMutex expose timed futex/kernel waits). Everything else gets the
+// bounded-spin-with-backoff fallback below.
+template <typename L>
+concept NativeTimedLockable = Lockable<L> && requires(L lock, std::uint64_t ns) {
+  { lock.try_lock_for_ns(ns) } -> std::convertible_to<bool>;
 };
 
 // Runtime-polymorphic lock. Implementations are adapters over the concrete
@@ -45,6 +54,15 @@ class LL_CAPABILITY("mutex") LockHandle {
   virtual void lock() LL_ACQUIRE() = 0;
   virtual void unlock() LL_RELEASE() = 0;
   virtual bool try_lock() LL_TRY_ACQUIRE(true) = 0;
+
+  // Timed acquisition (FailSafe): true iff the lock was acquired within
+  // `timeout_ns`. The default bounds any implementation with try_lock
+  // retries under exponential backoff; adapters whose lock has a native
+  // timed wait (timed FUTEX_WAIT) override with that instead.
+  virtual bool AcquireFor(std::uint64_t timeout_ns) LL_TRY_ACQUIRE(true)
+      LL_NO_THREAD_SAFETY_ANALYSIS {
+    return BoundedSpinUntil([this] { return try_lock(); }, timeout_ns);
+  }
 
   // Algorithm name as used in the paper's figures ("MUTEX", "TICKET", ...).
   virtual std::string name() const = 0;
@@ -68,6 +86,14 @@ class LockAdapter final : public LockHandle {
   bool try_lock() LL_TRY_ACQUIRE(true) LL_NO_THREAD_SAFETY_ANALYSIS override {
     return impl_.try_lock();
   }
+  bool AcquireFor(std::uint64_t timeout_ns) LL_TRY_ACQUIRE(true)
+      LL_NO_THREAD_SAFETY_ANALYSIS override {
+    if constexpr (NativeTimedLockable<L>) {
+      return impl_.try_lock_for_ns(timeout_ns);
+    } else {
+      return BoundedSpinUntil([this] { return impl_.try_lock(); }, timeout_ns);
+    }
+  }
   std::string name() const override { return name_; }
 
   L& impl() { return impl_; }
@@ -76,6 +102,47 @@ class LockAdapter final : public LockHandle {
  private:
   std::string name_;
   L impl_;
+};
+
+// --- FailSafe timed adapter (static tier) ------------------------------------
+
+// Gives any concrete lock a uniform timed-acquisition surface without
+// erasing its type: native timed waits where the algorithm has them,
+// bounded spin with exponential backoff for pure spinlocks. Layout-wise
+// TimedLock<L> is L plus a BackoffConfig; lock()/unlock() forward
+// untouched, so wrapping costs the fast path nothing.
+template <Lockable L>
+class LL_CAPABILITY("mutex") TimedLock {
+ public:
+  template <typename... Args>
+  explicit TimedLock(Args&&... args) : impl_(std::forward<Args>(args)...) {}
+
+  TimedLock(BackoffConfig backoff, L&& impl)
+      : impl_(std::move(impl)), backoff_(backoff) {}
+
+  // Forwarding bodies acquire the wrapped impl_, not *this; see LockAdapter.
+  void lock() LL_ACQUIRE() LL_NO_THREAD_SAFETY_ANALYSIS { impl_.lock(); }
+  void unlock() LL_RELEASE() LL_NO_THREAD_SAFETY_ANALYSIS { impl_.unlock(); }
+  bool try_lock() LL_TRY_ACQUIRE(true) LL_NO_THREAD_SAFETY_ANALYSIS {
+    return impl_.try_lock();
+  }
+
+  bool try_lock_for_ns(std::uint64_t timeout_ns) LL_TRY_ACQUIRE(true)
+      LL_NO_THREAD_SAFETY_ANALYSIS {
+    if constexpr (NativeTimedLockable<L>) {
+      return impl_.try_lock_for_ns(timeout_ns);
+    } else {
+      return BoundedSpinUntil([this] { return impl_.try_lock(); }, timeout_ns,
+                              backoff_);
+    }
+  }
+
+  L& impl() { return impl_; }
+  const L& impl() const { return impl_; }
+
+ private:
+  L impl_;
+  [[no_unique_address]] BackoffConfig backoff_{};
 };
 
 // --- LockScope tracing hooks -------------------------------------------------
@@ -176,6 +243,17 @@ class TracedHandle final : public LockHandle {
       TraceEmit(TraceEventKind::kAcquired, site_);
       return true;
     }
+    return false;
+  }
+
+  bool AcquireFor(std::uint64_t timeout_ns) LL_TRY_ACQUIRE(true)
+      LL_NO_THREAD_SAFETY_ANALYSIS override {
+    TraceEmit(TraceEventKind::kAcquireBegin, site_);
+    if (inner_->AcquireFor(timeout_ns)) {
+      TraceEmit(TraceEventKind::kAcquired, site_);
+      return true;
+    }
+    TraceEmit(TraceEventKind::kAcquireTimeout, site_);
     return false;
   }
 

@@ -40,7 +40,12 @@ std::unique_ptr<LockHandle> MakeLockOrThrow(const std::string& name,
                                             const LockBuildOptions& options) {
   auto lock = MakeLock(name, options);
   if (lock == nullptr) {
-    throw std::invalid_argument("unknown lock: " + name);
+    std::string message = "unknown lock: '" + name + "'; available locks:";
+    for (const std::string& lock_name : RegisteredLockNames()) {
+      message += ' ';
+      message += lock_name;
+    }
+    throw std::invalid_argument(message);
   }
   return lock;
 }

@@ -50,6 +50,10 @@ enum class TraceEventKind : std::uint16_t {
   kPhaseEnd = 10,        // arg = phase id
   kWattsSample = 11,     // arg = milliwatts (periodic sampler counter track)
   kLockdepViolation = 12,  // arg = site id in a reported violation chain
+  kAcquireTimeout = 13,    // arg = site id; AcquireFor missed its deadline
+  kOpShed = 14,            // arg = retry attempt; driver abandoned an op
+  kWatchdogStall = 15,     // arg = worker index reported stalled
+  kFailpointFire = 16,     // arg = FailpointId that triggered
 };
 
 // Exporter-facing name ("acquire_begin", "futex_sleep", ...).

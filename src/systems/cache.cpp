@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/platform/failpoint.hpp"
+
 namespace lockin {
 namespace {
 
@@ -105,6 +107,10 @@ void MemCache::TombstoneSlot(Shard& shard, Slot& slot) {
 }
 
 void MemCache::EvictOneFrom(Shard& shard) {
+  // FailSafe: delay-only site. Stalling inside the eviction scan (shard
+  // lock held) widens the window other shards race against; a true "fail"
+  // here would break the capacity invariant, so the fired flag is ignored.
+  (void)FailpointFired(FailpointId::kCacheEvict);
   // Approximate LRU: scan for the oldest ticket in the shard (memcached
   // similarly approximates with segmented LRU). The scan reuses the stored
   // hashes implicitly -- no key is rehashed while picking a victim.

@@ -1,0 +1,188 @@
+#include "src/systems/wal_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/platform/failpoint.hpp"
+
+namespace lockin {
+namespace {
+
+constexpr std::size_t kHeaderSize = 8;  // u32 len + u32 crc
+
+std::uint32_t LoadLe32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void StoreLe32(unsigned char* p, std::uint32_t value) {
+  p[0] = static_cast<unsigned char>(value);
+  p[1] = static_cast<unsigned char>(value >> 8);
+  p[2] = static_cast<unsigned char>(value >> 16);
+  p[3] = static_cast<unsigned char>(value >> 24);
+}
+
+void WriteAllAt(int fd, const unsigned char* data, std::size_t size,
+                std::uint64_t offset, const char* path) {
+  while (size > 0) {
+    const ssize_t written =
+        pwrite(fd, data, size, static_cast<off_t>(offset));
+    if (written < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw WalIoError(std::string("wal write failed for ") + path + ": " +
+                       std::strerror(errno));
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+    offset += static_cast<std::uint64_t>(written);
+  }
+}
+
+}  // namespace
+
+std::uint32_t WalLog::Crc32(std::string_view data) {
+  // IEEE CRC32 (reflected, poly 0xEDB88320), nibble-at-a-time: small table,
+  // fast enough for the record sizes the systems write.
+  static constexpr std::uint32_t kNibbleTable[16] = {
+      0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac, 0x76dc4190, 0x6b6b51f4,
+      0x4db26158, 0x5005713c, 0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c,
+      0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c};
+  std::uint32_t crc = 0xffffffffu;
+  for (const char c : data) {
+    crc ^= static_cast<unsigned char>(c);
+    crc = (crc >> 4) ^ kNibbleTable[crc & 0x0f];
+    crc = (crc >> 4) ^ kNibbleTable[crc & 0x0f];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+WalLog::WalLog(std::string path) : path_(std::move(path)) {
+  fd_ = open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw WalIoError("wal open failed for " + path_ + ": " + std::strerror(errno));
+  }
+  const off_t end = lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    close(fd_);
+    fd_ = -1;
+    throw WalIoError("wal seek failed for " + path_ + ": " + std::strerror(errno));
+  }
+  offset_ = static_cast<std::uint64_t>(end);
+}
+
+WalLog::~WalLog() {
+  if (fd_ >= 0) {
+    close(fd_);
+  }
+}
+
+void WalLog::Append(std::string_view payload) {
+  if (payload.size() > kMaxPayload) {
+    throw WalIoError("wal record exceeds kMaxPayload");
+  }
+  std::vector<unsigned char> record(kHeaderSize + payload.size());
+  StoreLe32(record.data(), static_cast<std::uint32_t>(payload.size()));
+  StoreLe32(record.data() + 4, Crc32(payload));
+  std::memcpy(record.data() + kHeaderSize, payload.data(), payload.size());
+
+  if (FailpointFired(FailpointId::kWalAppend)) {
+    // Simulated kill mid-write. Cycle through the three torn-tail shapes
+    // deterministically (by fires so far, which the snapshot exposes):
+    //   0: partial header -- recovery must ignore a headerless stub
+    //   1: full header, partial payload -- length says more than exists
+    //   2: full-length record with a flipped payload byte -- CRC mismatch
+    std::uint64_t fires = 0;
+    for (const FailpointStatus& status : FailpointsSnapshot()) {
+      if (status.name == std::string_view(FailpointName(FailpointId::kWalAppend))) {
+        fires = status.fires;
+      }
+    }
+    const std::uint64_t shape = (fires - 1) % 3;
+    std::size_t torn_size = record.size();
+    if (shape == 0) {
+      torn_size = kHeaderSize / 2;
+    } else if (shape == 1 && !payload.empty()) {
+      torn_size = kHeaderSize + payload.size() / 2;
+    } else if (!payload.empty()) {
+      record[kHeaderSize + payload.size() / 2] ^= 0x40;
+    } else {
+      record[4] ^= 0x40;  // empty payload: corrupt the stored CRC instead
+    }
+    WriteAllAt(fd_, record.data(), torn_size, offset_, path_.c_str());
+    throw WalCrashInjected("wal/append failpoint: torn write at offset " +
+                           std::to_string(offset_));
+  }
+
+  WriteAllAt(fd_, record.data(), record.size(), offset_, path_.c_str());
+
+  if (FailpointFired(FailpointId::kWalFlush)) {
+    // Kill after the record fully hit the file: recovery must keep it.
+    throw WalCrashInjected("wal/flush failpoint: crash after append at offset " +
+                           std::to_string(offset_));
+  }
+
+  offset_ += record.size();
+  ++appended_;
+}
+
+WalLog::RecoverResult WalLog::Recover(std::vector<std::string>* records) {
+  RecoverResult result;
+  const off_t end = lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    throw WalIoError("wal seek failed for " + path_ + ": " + std::strerror(errno));
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(end);
+  std::vector<unsigned char> contents(size);
+  std::uint64_t read_off = 0;
+  while (read_off < size) {
+    const ssize_t got = pread(fd_, contents.data() + read_off, size - read_off,
+                              static_cast<off_t>(read_off));
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw WalIoError("wal read failed for " + path_ + ": " + std::strerror(errno));
+    }
+    if (got == 0) {
+      break;  // file shrank underneath us; treat the rest as missing
+    }
+    read_off += static_cast<std::uint64_t>(got);
+  }
+
+  std::uint64_t valid_end = 0;
+  while (valid_end + kHeaderSize <= read_off) {
+    const std::uint32_t len = LoadLe32(contents.data() + valid_end);
+    const std::uint32_t crc = LoadLe32(contents.data() + valid_end + 4);
+    if (len > kMaxPayload || valid_end + kHeaderSize + len > read_off) {
+      break;  // garbage length or truncated payload
+    }
+    const std::string_view payload(
+        reinterpret_cast<const char*>(contents.data() + valid_end + kHeaderSize), len);
+    if (Crc32(payload) != crc) {
+      break;
+    }
+    if (records != nullptr) {
+      records->emplace_back(payload);
+    }
+    ++result.valid_records;
+    valid_end += kHeaderSize + len;
+  }
+
+  if (valid_end < size) {
+    result.dropped_bytes = size - valid_end;
+    result.truncated = true;
+    if (ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      throw WalIoError("wal truncate failed for " + path_ + ": " +
+                       std::strerror(errno));
+    }
+  }
+  offset_ = valid_end;
+  return result;
+}
+
+}  // namespace lockin

@@ -1,0 +1,94 @@
+// WalLog: crash-consistent write-ahead log file (FailSafe part 3).
+//
+// Record format, length-prefixed and checksummed:
+//
+//   [u32 payload_len (LE)] [u32 crc32(payload) (LE)] [payload bytes]
+//
+// Append is a single positional write; durability faults are injected via
+// the wal/append and wal/flush failpoints (src/platform/failpoint.hpp):
+//
+//   * wal/append fires  -> a torn tail is written (partial header, partial
+//     payload, or a corrupted payload byte, cycling deterministically) and
+//     WalCrashInjected is thrown: the simulated kill-during-write.
+//   * wal/flush fires   -> the record is written *completely*, then
+//     WalCrashInjected is thrown: the record must survive recovery.
+//
+// Recover() scans from the start, verifies length bounds and CRC for each
+// record, truncates the file after the last valid record, and positions
+// the log for appending -- the classic "the tail may be garbage, nothing
+// before it may be" WAL contract.
+#ifndef SRC_SYSTEMS_WAL_LOG_HPP_
+#define SRC_SYSTEMS_WAL_LOG_HPP_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lockin {
+
+// Thrown by failpoint-injected WAL crashes. Deliberately NOT derived from
+// the I/O error type: tests catch exactly this to simulate a kill.
+class WalCrashInjected : public std::runtime_error {
+ public:
+  explicit WalCrashInjected(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// Real I/O failures (open/write/truncate errors).
+class WalIoError : public std::runtime_error {
+ public:
+  explicit WalIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class WalLog {
+ public:
+  // Records larger than this are rejected on append and treated as
+  // corruption on recovery (a garbage length prefix must not make the
+  // scanner allocate gigabytes).
+  static constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+  // Opens (creating if needed) the log at `path`. The append offset
+  // starts at the current end of file; call Recover() first when the file
+  // may have a torn tail from a previous life.
+  explicit WalLog(std::string path);
+  ~WalLog();
+
+  WalLog(const WalLog&) = delete;
+  WalLog& operator=(const WalLog&) = delete;
+
+  // Appends one record. Throws WalCrashInjected when a WAL failpoint
+  // fires (after writing a deterministic torn/complete tail -- see file
+  // comment) and WalIoError on real I/O failure.
+  void Append(std::string_view payload);
+
+  struct RecoverResult {
+    std::uint64_t valid_records = 0;  // records that passed length+CRC
+    std::uint64_t dropped_bytes = 0;  // torn/corrupt tail bytes removed
+    bool truncated = false;           // whether anything was cut
+  };
+
+  // Scans the whole file, truncates after the last valid record, resets
+  // the append offset, and (when `records` is non-null) returns every
+  // valid payload in order.
+  RecoverResult Recover(std::vector<std::string>* records);
+
+  // Records appended through this handle (recovered ones not included).
+  std::uint64_t appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+  // The CRC32 (IEEE, reflected) used for record checksums; exposed so
+  // tests can build hand-crafted valid/corrupt files.
+  static std::uint32_t Crc32(std::string_view data);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t offset_ = 0;  // next append position
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace lockin
+
+#endif  // SRC_SYSTEMS_WAL_LOG_HPP_

@@ -1,6 +1,40 @@
 #include "src/systems/walstore.hpp"
 
+#include <cstdlib>
+
+#include "src/platform/failpoint.hpp"
+
 namespace lockin {
+
+WalStore::WalStore(const LockFactory& make_lock, const std::string& wal_path)
+    : db_lock_(make_lock()), read_lock_(make_lock()) {
+  auto log = std::make_unique<WalLog>(wal_path);
+  std::vector<std::string> records;
+  const WalLog::RecoverResult recovered = log->Recover(&records);
+  recovery_info_.records = recovered.valid_records;
+  recovery_info_.dropped_bytes = recovered.dropped_bytes;
+  recovery_info_.truncated = recovered.truncated;
+  {
+    // Replay the surviving records in order. Record format (one op each):
+    // "P <key> <value>" / "D <key>".
+    HandleGuard read_guard(*read_lock_);
+    for (const std::string& record : records) {
+      if (record.size() < 3 || record[1] != ' ') {
+        continue;  // unknown record shape; recovery is best-effort
+      }
+      const std::size_t key_end = record.find(' ', 2);
+      const std::uint64_t key =
+          std::strtoull(record.c_str() + 2, nullptr, 10);
+      if (record[0] == 'D') {
+        memtable_.erase(key);
+      } else if (record[0] == 'P' && key_end != std::string::npos) {
+        memtable_[key] = record.substr(key_end + 1);
+      }
+    }
+  }
+  HandleGuard db_guard(*db_lock_);
+  wal_log_ = std::move(log);
+}
 
 void WalStore::RunBatchLocked() {
   // Leader: drain the queue into one WAL append + memtable apply. Writes
@@ -9,6 +43,29 @@ void WalStore::RunBatchLocked() {
   batch_running_ = true;
   std::vector<WriteRequest*> batch(queue_.begin(), queue_.end());
   queue_.clear();
+
+  // FailSafe: delay-only site inside the group-commit leader; stalling
+  // here (db lock held, followers parked on the condvar) widens the
+  // leader-election and queue-join races.
+  (void)FailpointFired(FailpointId::kWalStoreBatch);
+
+  // Durable mode: one crash-consistent record per op, appended before any
+  // in-memory state is touched. A WAL failpoint crash propagates out with
+  // nothing applied beyond what the file holds -- exactly what Recover()
+  // sees after a real mid-write kill.
+  if (wal_log_ != nullptr) {
+    for (WriteRequest* req : batch) {
+      std::string record;
+      record += req->is_delete ? 'D' : 'P';
+      record += ' ';
+      record += std::to_string(req->key);
+      if (!req->is_delete) {
+        record += ' ';
+        record += req->value;
+      }
+      wal_log_->Append(record);
+    }
+  }
 
   // Simulate the WAL append outside the read path but under the DB lock
   // (RocksDB's write thread does the same for the group).

@@ -20,6 +20,7 @@
 #include "src/locks/condvar.hpp"
 #include "src/platform/thread_annotations.hpp"
 #include "src/systems/common.hpp"
+#include "src/systems/wal_log.hpp"
 
 namespace lockin {
 
@@ -27,6 +28,23 @@ class WalStore {
  public:
   explicit WalStore(const LockFactory& make_lock)
       : db_lock_(make_lock()), read_lock_(make_lock()) {}
+
+  // Durable mode (FailSafe): every batched write is additionally appended
+  // to a crash-consistent WalLog at `wal_path`, one CRC-checked record per
+  // operation; the constructor recovers the file first (truncating any
+  // torn tail) and replays the surviving records into the memtable.
+  // Appends can throw WalCrashInjected when the WAL failpoints are armed
+  // -- the store is then considered dead, like a killed process; reopen a
+  // fresh WalStore on the same path to recover.
+  WalStore(const LockFactory& make_lock, const std::string& wal_path);
+
+  struct RecoveryInfo {
+    std::uint64_t records = 0;        // valid records replayed
+    std::uint64_t dropped_bytes = 0;  // torn tail removed by recovery
+    bool truncated = false;
+  };
+  // What the durable constructor recovered (zeros for in-memory mode).
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
 
   WalStore(const WalStore&) = delete;
   WalStore& operator=(const WalStore&) = delete;
@@ -65,6 +83,8 @@ class WalStore {
   std::uint64_t wal_records_ LL_GUARDED_BY(*db_lock_) = 0;
   std::uint64_t batches_ LL_GUARDED_BY(*db_lock_) = 0;
   std::vector<std::string> wal_ LL_GUARDED_BY(*db_lock_);  // simulated WAL tail (bounded)
+  std::unique_ptr<WalLog> wal_log_ LL_GUARDED_BY(*db_lock_);  // durable mode only
+  RecoveryInfo recovery_info_;  // written once in the ctor, read-only after
 
   // Memtable guarded by a separate short lock so reads do not cross the
   // write queue.

@@ -1,7 +1,10 @@
 #include "src/systems/workload_api.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -9,15 +12,69 @@
 #include "src/analysis/lockdep.hpp"
 #include "src/energy/model_meter.hpp"
 #include "src/energy/power_model.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/sampler.hpp"
 #include "src/platform/cacheline.hpp"
 #include "src/platform/cycles.hpp"
+#include "src/platform/failpoint.hpp"
 #include "src/platform/spin_hint.hpp"
 #include "src/platform/topology.hpp"
 #include "src/systems/scenarios/scenario_defs.hpp"
 
 namespace lockin {
 namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The calling thread's one-shot op deadline (see ArmOpDeadline). Plain TLS:
+// armed by the driver and consumed by the first DeadlineHandle::lock of the
+// same op, always on the same thread.
+struct OpDeadline {
+  std::uint64_t deadline_ns = 0;  // absolute steady-clock ns
+  bool armed = false;
+};
+thread_local constinit OpDeadline tls_op_deadline;
+
+// Converts the op's entry acquisition into a timed wait. Only the FIRST
+// lock() after ArmOpDeadline is bounded: past the entry lock the op has
+// typically started mutating and must run to completion (a nested CondVar
+// re-acquire or hand-over-hand chain aborted halfway would tear system
+// state), so nested acquisitions block normally.
+class DeadlineHandle final : public LockHandle {
+ public:
+  explicit DeadlineHandle(std::unique_ptr<LockHandle> inner) : inner_(std::move(inner)) {}
+
+  void lock() LL_ACQUIRE() LL_NO_THREAD_SAFETY_ANALYSIS override {
+    if (tls_op_deadline.armed) [[unlikely]] {
+      tls_op_deadline.armed = false;
+      const std::uint64_t deadline = tls_op_deadline.deadline_ns;
+      const std::uint64_t now = SteadyNowNs();
+      if (now >= deadline || !inner_->AcquireFor(deadline - now)) {
+        throw OpShedError("op deadline expired acquiring " + inner_->name());
+      }
+      return;
+    }
+    inner_->lock();
+  }
+
+  void unlock() LL_RELEASE() LL_NO_THREAD_SAFETY_ANALYSIS override { inner_->unlock(); }
+  bool try_lock() LL_TRY_ACQUIRE(true) LL_NO_THREAD_SAFETY_ANALYSIS override {
+    return inner_->try_lock();
+  }
+  bool AcquireFor(std::uint64_t timeout_ns) LL_TRY_ACQUIRE(true)
+      LL_NO_THREAD_SAFETY_ANALYSIS override {
+    return inner_->AcquireFor(timeout_ns);
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<LockHandle> inner_;
+};
 
 // Per-worker hot state, one slot per thread -- the same shape as the lock
 // harness's WorkerSlot (src/locks/harness.cpp): everything a worker writes
@@ -36,6 +93,16 @@ struct alignas(kCacheLineSize) WorkerSlot {
   LatencyHistogram latency;
   std::uint64_t samples[kLatencyBatch];
   std::uint64_t counters[ScenarioWorkload::kMaxCounters] = {};
+
+  // FailSafe cross-thread fields. Plain members (the slot must stay movable
+  // for the slots vector); the worker writes and the watchdog reads them
+  // through std::atomic_ref once the vector has stopped growing. `progress`
+  // counts op *attempts* (shed ops included), so a worker that is shedding
+  // under a deadline still reads as live, not stalled.
+  std::uint64_t progress = 0;
+  bool finished = false;
+  std::uint64_t shed = 0;          // ops abandoned after deadline + retries
+  std::uint64_t shed_retries = 0;  // deadline expiries that were retried
 };
 static_assert(alignof(WorkerSlot) == kCacheLineSize,
               "worker slots must start on a cache-line boundary");
@@ -43,9 +110,7 @@ static_assert(sizeof(WorkerSlot) % kCacheLineSize == 0,
               "worker slots must span whole cache lines so adjacent slots "
               "never share one (false-sharing regression guard)");
 
-// One operation with op counting and optional batched latency recording
-// wrapped around it.
-inline void DoOneOp(ScenarioWorkload& workload, WorkerSlot& slot, bool record) {
+inline void RunOpTimed(ScenarioWorkload& workload, WorkerSlot& slot, bool record) {
   if (record) {
     const std::uint64_t before = ReadCycles();
     workload.Op(slot.ctx);
@@ -57,7 +122,43 @@ inline void DoOneOp(ScenarioWorkload& workload, WorkerSlot& slot, bool record) {
   } else {
     workload.Op(slot.ctx);
   }
-  ++slot.ctx.op_index;
+}
+
+// One operation with op counting and optional batched latency recording
+// wrapped around it. With a per-op deadline configured, a deadline miss on
+// the op's entry acquisition (OpShedError from the DeadlineHandle wrapper)
+// is retried with exponential backoff up to config.op_retries times, then
+// the op is shed: op_index and latency record successes only, so throughput
+// and tail latency describe completed work.
+inline void DoOneOp(ScenarioWorkload& workload, const ScenarioConfig& config, WorkerSlot& slot,
+                    bool record) {
+  (void)FailpointFired(FailpointId::kScenarioOp);  // delay-only chaos site
+  if (config.op_deadline_ns == 0) {
+    RunOpTimed(workload, slot, record);
+    ++slot.ctx.op_index;
+    return;
+  }
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    ArmOpDeadline(config.op_deadline_ns);
+    try {
+      RunOpTimed(workload, slot, record);
+      DisarmOpDeadline();
+      ++slot.ctx.op_index;
+      return;
+    } catch (const OpShedError&) {
+      DisarmOpDeadline();
+      TraceEmit(TraceEventKind::kOpShed, attempt);
+      if (attempt >= config.op_retries) {
+        ++slot.shed;
+        return;
+      }
+      ++slot.shed_retries;
+      // Sleep rather than spin between retries: the deadline expired because
+      // the entry lock is congested, so give the holder the core.
+      const std::uint32_t shift = attempt < 6 ? attempt : 6;
+      std::this_thread::sleep_for(std::chrono::microseconds(std::uint64_t{1} << shift));
+    }
+  }
 }
 
 void WorkerBody(ScenarioWorkload& workload, const ScenarioConfig& config, WorkerSlot& slot,
@@ -69,15 +170,27 @@ void WorkerBody(ScenarioWorkload& workload, const ScenarioConfig& config, Worker
     SpinPause(PauseKind::kYield);
   }
   const bool record = config.record_latency;
+  std::atomic_ref<std::uint64_t> progress(slot.progress);
+  std::uint64_t attempts = 0;
+  const std::uint32_t cadence = config.stop_check_every == 0 ? 1 : config.stop_check_every;
   if (config.duration_ms == 0) {
-    // Fixed-op mode: deterministic for a fixed seed.
+    // Fixed-op mode: deterministic for a fixed seed. The external stop flag
+    // (SIGINT wiring) is polled only when one is installed, so plain runs
+    // keep the exact per-op instruction sequence.
+    std::uint32_t countdown = cadence;
     for (int i = 0; i < config.ops_per_thread; ++i) {
-      DoOneOp(workload, slot, record);
+      if (config.external_stop != nullptr && --countdown == 0) {
+        if (config.external_stop->load(std::memory_order_relaxed)) {
+          break;
+        }
+        countdown = cadence;
+      }
+      DoOneOp(workload, config, slot, record);
+      progress.store(++attempts, std::memory_order_relaxed);
     }
   } else {
     // Time-bounded mode: the stop flag is the only cross-thread line the
     // loop reads, polled once per `stop_check_every` ops.
-    const std::uint32_t cadence = config.stop_check_every == 0 ? 1 : config.stop_check_every;
     std::uint32_t countdown = 0;
     for (;;) {
       if (countdown == 0) {
@@ -87,16 +200,29 @@ void WorkerBody(ScenarioWorkload& workload, const ScenarioConfig& config, Worker
         countdown = cadence;
       }
       --countdown;
-      DoOneOp(workload, slot, record);
+      DoOneOp(workload, config, slot, record);
+      progress.store(++attempts, std::memory_order_relaxed);
     }
   }
   if (slot.pending != 0) {
     slot.latency.RecordBatch(slot.samples, slot.pending);
     slot.pending = 0;
   }
+  std::atomic_ref<bool>(slot.finished).store(true, std::memory_order_release);
 }
 
 }  // namespace
+
+void ArmOpDeadline(std::uint64_t timeout_ns) {
+  tls_op_deadline.deadline_ns = SteadyNowNs() + timeout_ns;
+  tls_op_deadline.armed = true;
+}
+
+void DisarmOpDeadline() { tls_op_deadline.armed = false; }
+
+std::unique_ptr<LockHandle> WrapDeadline(std::unique_ptr<LockHandle> inner) {
+  return std::make_unique<DeadlineHandle>(std::move(inner));
+}
 
 double ScenarioResult::MetricOr(const std::string& name, double fallback) const {
   for (const ScenarioMetric& metric : metrics) {
@@ -114,6 +240,11 @@ ScenarioResult RunScenario(ScenarioWorkload& workload, const ScenarioConfig& con
     throw std::invalid_argument("scenario declares more than kMaxCounters counters: " +
                                 scenario_name);
   }
+
+  // FailSafe: arm the requested failpoint profile for the whole run (setup
+  // included), seeded from the run seed so fire patterns are reproducible.
+  // No-op (and leaves any env-armed profile in place) when the spec is empty.
+  ScopedFailpoints failpoint_scope(config.failpoints, config.seed);
 
   // LockScope: energy meter for the run phase. kAuto follows the fallback
   // chain (RAPL when readable, else the model integrating this run's worker
@@ -198,15 +329,107 @@ ScenarioResult RunScenario(ScenarioWorkload& workload, const ScenarioConfig& con
     sampler = std::make_unique<EnergySampler>(meter.get(), config.energy_sample_ms, sampler_sink);
   }
 
+  // FailSafe: watchdog thread. Polls every worker's attempt counter; a
+  // worker that is neither finished nor advancing for a full window is
+  // declared stalled. The report goes to stderr with the lockdep held-lock
+  // snapshot and the failpoint counters, then the run either aborts with
+  // exit code 3 (default: a wedged run fails fast instead of hanging ctest)
+  // or is counted and the window re-armed. Trace tid threads+2 when tracing.
+  std::atomic<bool> watchdog_stop{false};
+  std::uint64_t watchdog_stalls = 0;
+  std::thread watchdog;
+  if (config.watchdog_ms > 0) {
+    watchdog = std::thread([&] {
+      TraceBuffer* wd_sink = nullptr;
+      if (config.trace) {
+        wd_sink = TraceSession::Instance().NewBuffer(
+            static_cast<std::uint16_t>(config.threads + 2), config.trace_buffer_events);
+      }
+      ScopedTraceSink sink(wd_sink);
+      const auto poll = std::chrono::milliseconds(
+          std::max<std::uint32_t>(1, std::min<std::uint32_t>(config.watchdog_ms / 4, 25)));
+      const std::uint64_t window_ns = std::uint64_t{config.watchdog_ms} * 1'000'000;
+      while (!start_flag.load(std::memory_order_acquire)) {
+        if (watchdog_stop.load(std::memory_order_acquire)) {
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      const std::uint64_t run_start = SteadyNowNs();
+      std::vector<std::uint64_t> last_progress(slots.size(), 0);
+      std::vector<std::uint64_t> last_change_ns(slots.size(), run_start);
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll);
+        const std::uint64_t now = SteadyNowNs();
+        for (std::size_t w = 0; w < slots.size(); ++w) {
+          if (std::atomic_ref<bool>(slots[w].finished).load(std::memory_order_acquire)) {
+            continue;
+          }
+          const std::uint64_t p =
+              std::atomic_ref<std::uint64_t>(slots[w].progress).load(std::memory_order_relaxed);
+          if (p != last_progress[w]) {
+            last_progress[w] = p;
+            last_change_ns[w] = now;
+            continue;
+          }
+          if (now - last_change_ns[w] < window_ns) {
+            continue;
+          }
+          const unsigned long long stalled_ms = (now - last_change_ns[w]) / 1'000'000;
+          std::fprintf(stderr,
+                       "lockin watchdog: worker %zu of scenario '%s' (lock %s) made no "
+                       "progress for %llu ms (%llu op attempts completed)\n",
+                       w, scenario_name.c_str(), config.lock_name.c_str(), stalled_ms,
+                       static_cast<unsigned long long>(p));
+          std::fputs("held traced locks at stall time:\n", stderr);
+          std::fputs(LockdepHeldDescribe().c_str(), stderr);
+          const std::string failpoints = FailpointsReport();
+          if (!failpoints.empty()) {
+            std::fputs(failpoints.c_str(), stderr);
+          }
+          TraceEmit(TraceEventKind::kWatchdogStall, static_cast<std::uint64_t>(w));
+          if (config.on_stall) {
+            config.on_stall();
+          }
+          if (config.watchdog_abort) {
+            std::fputs("lockin watchdog: aborting the wedged run (exit code 3)\n", stderr);
+            std::fflush(nullptr);
+            std::_Exit(3);
+          }
+          ++watchdog_stalls;
+          last_change_ns[w] = now;  // re-arm for the next window
+        }
+      }
+    });
+  }
+
   TraceEmit(TraceEventKind::kPhaseBegin, 1);
   const auto t0 = std::chrono::steady_clock::now();
   start_flag.store(true, std::memory_order_release);
   if (config.duration_ms != 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(config.duration_ms));
+    // Paced in short chunks so an external stop (SIGINT) ends the run early.
+    const auto run_deadline = t0 + std::chrono::milliseconds(config.duration_ms);
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= run_deadline) {
+        break;
+      }
+      if (config.external_stop != nullptr &&
+          config.external_stop->load(std::memory_order_relaxed)) {
+        break;
+      }
+      const auto chunk = std::min<std::chrono::steady_clock::duration>(
+          run_deadline - now, std::chrono::milliseconds(10));
+      std::this_thread::sleep_for(chunk);
+    }
     stop_flag.store(true, std::memory_order_release);
   }
   for (std::thread& worker : workers) {
     worker.join();
+  }
+  if (watchdog.joinable()) {
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
   }
   const auto t1 = std::chrono::steady_clock::now();
   TraceEmit(TraceEventKind::kPhaseEnd, 1);
@@ -231,10 +454,20 @@ ScenarioResult RunScenario(ScenarioWorkload& workload, const ScenarioConfig& con
   std::vector<std::uint64_t> counter_sums(counter_names.size(), 0);
   for (const WorkerSlot& slot : slots) {
     result.total_ops += slot.ctx.op_index;
+    result.ops_shed += slot.shed;
+    result.shed_retries += slot.shed_retries;
     result.op_latency_cycles.Merge(slot.latency);
     for (std::size_t c = 0; c < counter_sums.size(); ++c) {
       counter_sums[c] += slot.counters[c];
     }
+  }
+  result.watchdog_stalls = watchdog_stalls;
+  if (config.op_deadline_ns > 0) {
+    MetricsRegistry::Instance().Counter("failsafe.ops_shed").Add(result.ops_shed);
+    MetricsRegistry::Instance().Counter("failsafe.shed_retries").Add(result.shed_retries);
+  }
+  if (config.watchdog_ms > 0) {
+    MetricsRegistry::Instance().Counter("failsafe.watchdog_stalls").Add(result.watchdog_stalls);
   }
   result.ops_per_s =
       result.seconds > 0 ? static_cast<double>(result.total_ops) / result.seconds : 0;
@@ -311,7 +544,12 @@ std::unique_ptr<ScenarioWorkload> MakeScenario(const std::string& name) {
 std::unique_ptr<ScenarioWorkload> MakeScenarioOrThrow(const std::string& name) {
   std::unique_ptr<ScenarioWorkload> workload = MakeScenario(name);
   if (workload == nullptr) {
-    throw std::invalid_argument("unknown scenario: " + name);
+    std::string message = "unknown scenario: '" + name + "'; available scenarios:";
+    for (const ScenarioInfo& info : RegisteredScenarios()) {
+      message += ' ';
+      message += info.name;
+    }
+    throw std::invalid_argument(message);
   }
   return workload;
 }

@@ -23,9 +23,11 @@
 #ifndef SRC_SYSTEMS_WORKLOAD_API_HPP_
 #define SRC_SYSTEMS_WORKLOAD_API_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,27 @@ enum class MeterChoice {
   kModel,  // force the model meter (deterministic availability, e.g. tests)
   kOff,    // no meter; result.energy stays zero
 };
+
+// --- FailSafe: per-op deadlines on the handle tier ---------------------------
+
+// Thrown by a DeadlineHandle whose armed acquisition missed its deadline;
+// the scenario driver catches it and sheds (or retries) the op. Scenario
+// Op() bodies never see it unless they install deadlines themselves.
+class OpShedError : public std::runtime_error {
+ public:
+  explicit OpShedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Arms a one-shot deadline for the calling thread: the next lock() through
+// a DeadlineHandle converts to AcquireFor(remaining) and throws OpShedError
+// on expiry. Consumed by that first acquisition (or by Disarm). The driver
+// arms this around each op when ScenarioConfig::op_deadline_ns > 0.
+void ArmOpDeadline(std::uint64_t timeout_ns);
+void DisarmOpDeadline();
+
+// Wraps a handle so lock() honors the calling thread's armed op deadline.
+// unlock/try_lock/AcquireFor forward untouched.
+std::unique_ptr<LockHandle> WrapDeadline(std::unique_ptr<LockHandle> inner);
 
 // One scenario run: which lock, how many threads, how long, which mix.
 // Scenario-agnostic; each scenario maps the generic knobs onto its own
@@ -94,16 +117,59 @@ struct ScenarioConfig {
   // Perfetto counter track of watts).
   std::uint32_t energy_sample_ms = 0;
 
+  // --- FailSafe robustness --------------------------------------------------
+  // failpoints: a failpoint SPEC (src/platform/failpoint.hpp) armed for the
+  // whole run -- setup included -- and disarmed after, seeded with `seed`.
+  // Empty leaves whatever global/env arming is in effect untouched.
+  std::string failpoints;
+  // op_deadline_ns > 0 bounds each op's *first* lock acquisition: the
+  // scenario's locks are wrapped in a DeadlineHandle whose lock() consumes
+  // a per-op deadline armed by the driver, waits with AcquireFor (timed
+  // futex / bounded spin), and throws OpShedError on expiry. Nested
+  // acquisitions within the op block normally -- once past the entry lock
+  // an op must finish, or it would tear system state. The driver retries a
+  // shed op up to op_retries times with exponential backoff, then abandons
+  // it (ScenarioResult::ops_shed).
+  std::uint64_t op_deadline_ns = 0;
+  std::uint32_t op_retries = 3;
+  // watchdog_ms > 0 starts a stall watchdog over the run phase: a worker
+  // whose progress counter does not move for watchdog_ms gets reported to
+  // stderr (with the lockdep held-lock snapshot and failpoint status).
+  // With watchdog_abort the process then exits with code 3 -- failing the
+  // run cleanly instead of hanging ctest/CI forever; without it the stall
+  // is counted (ScenarioResult::watchdog_stalls) and watching continues.
+  std::uint32_t watchdog_ms = 0;
+  bool watchdog_abort = true;
+  // Runner hook invoked on every detected stall before any abort: flush
+  // partial traces/metrics so the evidence survives the _Exit.
+  std::function<void()> on_stall;
+  // External cancellation (scenario_runner's SIGINT handler): polled by
+  // fixed-op workers at the stop_check_every cadence and by the duration
+  // pacer, ending the run early but cleanly. Null = never.
+  const std::atomic<bool>* external_stop = nullptr;
+
   // The lock factory every scenario builds its system with (the paper's
   // "swap the pthread locks" point). Throws std::invalid_argument for
   // unknown names, at Setup time. Traced runs wrap every lock the scenario
-  // builds in a TracedHandle.
+  // builds in a TracedHandle; deadline runs add a DeadlineHandle on the
+  // outside (so its timed waits are traced like any other acquisition).
   LockFactory MakeLockFactory() const {
     LockFactory factory = NamedLockFactory(lock_name, yield_after);
-    if (!trace && !lockdep) {
+    const bool traced = trace || lockdep;
+    const bool deadline = op_deadline_ns > 0;
+    if (!traced && !deadline) {
       return factory;
     }
-    return [factory = std::move(factory)] { return WrapTraced(factory()); };
+    return [factory = std::move(factory), traced, deadline] {
+      std::unique_ptr<LockHandle> handle = factory();
+      if (traced) {
+        handle = WrapTraced(std::move(handle));
+      }
+      if (deadline) {
+        handle = WrapDeadline(std::move(handle));
+      }
+      return handle;
+    };
   }
 };
 
@@ -123,6 +189,11 @@ struct ScenarioResult {
   // Summed per-thread counters (in CounterNames() order) followed by the
   // scenario's system-level metrics (sizes, evictions, WAL records, ...).
   std::vector<ScenarioMetric> metrics;
+
+  // FailSafe accounting (zero unless the matching config knob was set).
+  std::uint64_t ops_shed = 0;      // ops abandoned after deadline + retries
+  std::uint64_t shed_retries = 0;  // deadline expiries that were retried
+  std::uint64_t watchdog_stalls = 0;  // stalls a non-aborting watchdog saw
 
   // Energy over the run phase (setup excluded). Zero when meter == kOff.
   // Kept out of `metrics` on purpose: the metrics vector is the
