@@ -13,6 +13,12 @@
 // kPerShard segments the LRU clock and eviction budget per shard so SETs
 // never cross a global lock -- the scale scenario for many-core hosts
 // (memcached itself made the same move with its segmented LRU).
+//
+// ShardCombine: the shard routing/locking that used to be bespoke here is
+// now the reusable ShardedMap layer (src/systems/sharded.hpp) -- MemCache
+// is its first consumer, keeping the hash(key) % shards mapping the tests
+// pin. Config::combine routes shard mutations through the flat-combining
+// channel; Config::rw takes GETs under a shared per-shard RwLock.
 #ifndef SRC_SYSTEMS_CACHE_HPP_
 #define SRC_SYSTEMS_CACHE_HPP_
 
@@ -25,6 +31,7 @@
 #include "src/platform/cacheline.hpp"
 #include "src/platform/thread_annotations.hpp"
 #include "src/systems/common.hpp"
+#include "src/systems/sharded.hpp"
 
 namespace lockin {
 
@@ -39,6 +46,8 @@ class MemCache {
     std::size_t shards = 16;        // bucket-lock stripes
     std::size_t capacity = 100000;  // max items before LRU eviction
     LruMode lru_mode = LruMode::kGlobalLock;
+    bool combine = false;  // flat-combine shard mutations (hot-shard path)
+    bool rw = false;       // per-shard RwLock; GETs take it shared
   };
 
   MemCache(const LockFactory& make_lock, Config config);
@@ -83,35 +92,31 @@ class MemCache {
     std::string value;
   };
 
-  // Cache-line aligned: in kPerShard mode adjacent shards' hot counters
-  // (used/occupied/lru_clock) are written by different threads every SET;
-  // sharing a line would reintroduce exactly the false sharing the
-  // per-shard mode exists to remove.
-  struct alignas(kCacheLineSize) Shard {
-    std::unique_ptr<LockHandle> lock;
-    std::vector<Slot> slots LL_GUARDED_BY(*lock);  // power-of-two, linear probing
-    std::size_t used LL_GUARDED_BY(*lock) = 0;      // kFull entries
-    std::size_t occupied LL_GUARDED_BY(*lock) = 0;  // kFull + kTombstone (drives rehash)
-    std::uint64_t lru_clock LL_GUARDED_BY(*lock) = 0;  // per-shard ticket clock (kPerShard)
+  // One shard's table; lives inside a ShardedMap shard header, accessed
+  // only through WithShard* closures (the shard lock discipline).
+  struct CacheTable {
+    std::vector<Slot> slots;     // power-of-two, linear probing
+    std::size_t used = 0;        // kFull entries
+    std::size_t occupied = 0;    // kFull + kTombstone (drives rehash)
+    std::uint64_t lru_clock = 0; // per-shard ticket clock (kPerShard)
+    std::size_t evict_cursor = 0;  // clock hand for the sampled eviction
   };
 
-  Shard& ShardFor(std::size_t hash) { return shards_[hash % shards_.size()]; }
-
-  // All of these require the shard lock to be held.
-  Slot* FindSlot(Shard& shard, std::size_t hash, std::string_view key)
-      LL_REQUIRES(*shard.lock);
-  void Upsert(Shard& shard, std::size_t hash, const std::string& key, std::string&& value,
-              std::uint64_t ticket) LL_REQUIRES(*shard.lock);
-  void GrowShard(Shard& shard) LL_REQUIRES(*shard.lock);
-  void TombstoneSlot(Shard& shard, Slot& slot) LL_REQUIRES(*shard.lock);
-  void EvictOneFrom(Shard& shard) LL_REQUIRES(*shard.lock);
+  // All of these run inside a WithShard closure (shard lock held).
+  static const Slot* FindSlot(const CacheTable& table, std::size_t hash, std::string_view key);
+  static Slot* FindSlotMut(CacheTable& table, std::size_t hash, std::string_view key);
+  void Upsert(CacheTable& table, std::size_t hash, const std::string& key, std::string&& value,
+              std::uint64_t ticket);
+  static void GrowTable(CacheTable& table);
+  void TombstoneSlot(CacheTable& table, Slot& slot);
+  void EvictOneFrom(CacheTable& table);
 
   void EvictIfNeededGlobal() LL_REQUIRES(*lru_lock_);
 
   Config config_;
   std::size_t per_shard_capacity_ = 0;  // kPerShard eviction budget
-  std::vector<Shard> shards_;
-  // Global LRU clock + eviction cursor, guarded by lru_lock_ (kGlobalLock).
+  ShardedMap<CacheTable> shards_;
+  // Global LRU clock, guarded by lru_lock_ (kGlobalLock mode).
   std::unique_ptr<LockHandle> lru_lock_;
   std::uint64_t lru_clock_ LL_GUARDED_BY(*lru_lock_) = 0;
   // Written under a lock (lru_lock_ or a shard lock depending on the LRU

@@ -4,6 +4,12 @@
 // synchronization skeleton of the paper's HamsterDB target (4 worker
 // threads hammering one DB lock; Table 3). Operation mix knobs reproduce
 // the WT / WT/RD / RD configurations.
+//
+// ShardCombine: the environment is now a ShardedMap of B+-tree partitions.
+// The default (shards = 1) keeps the paper's one-DB-lock shape exactly;
+// Options{shards, combine, rw} opens the scale path -- hash-partitioned
+// trees, flat-combined hot shards, shared-lock reads -- that the
+// thread-scaling rows in BENCH_native.json measure.
 #ifndef SRC_SYSTEMS_KVSTORE_HPP_
 #define SRC_SYSTEMS_KVSTORE_HPP_
 
@@ -13,12 +19,16 @@
 #include "src/platform/thread_annotations.hpp"
 #include "src/systems/btree.hpp"
 #include "src/systems/common.hpp"
+#include "src/systems/sharded.hpp"
 
 namespace lockin {
 
 class KvStore {
  public:
-  explicit KvStore(const LockFactory& make_lock) : db_lock_(make_lock()) {}
+  using Options = ShardOptions;  // shards = 1 preserves the paper shape
+
+  explicit KvStore(const LockFactory& make_lock, Options options = {})
+      : shards_(make_lock, options) {}
 
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
@@ -30,17 +40,20 @@ class KvStore {
 
   bool Erase(std::uint64_t key);
 
-  // Range count in [first, last] (a short scan transaction).
+  // Range count in [first, last] (a short scan transaction). With multiple
+  // shards the range is counted per partition (keys are hash-scattered, so
+  // every shard can hold part of the range).
   std::size_t CountRange(std::uint64_t first, std::uint64_t last);
 
   std::size_t Size();
 
-  // Structural check (tests): takes the lock, verifies the tree.
+  // Structural check (tests): takes each shard lock, verifies its tree.
   bool CheckInvariants();
 
+  std::size_t shard_count() const { return shards_.shard_count(); }
+
  private:
-  std::unique_ptr<LockHandle> db_lock_;
-  BPlusTree tree_ LL_GUARDED_BY(*db_lock_);
+  ShardedMap<BPlusTree> shards_;
 };
 
 }  // namespace lockin

@@ -3,31 +3,35 @@
 namespace lockin {
 
 MiniSql::MiniSql(const LockFactory& make_lock, Config config)
-    : config_(config), write_lock_(make_lock()), pager_lock_(make_lock()) {
+    : config_(config),
+      write_lock_(make_lock()),
+      pager_(make_lock, ShardOptions{config.pager_shards, false, config.rw}) {
   warehouses_.resize(static_cast<std::size_t>(config_.warehouses));
   for (Warehouse& warehouse : warehouses_) {
     warehouse.districts.resize(static_cast<std::size_t>(config_.districts_per_warehouse));
   }
-  stock_.assign(static_cast<std::size_t>(config_.warehouses) *
-                    static_cast<std::size_t>(config_.items),
-                100);
+  // Stock routes by warehouse id (warehouse % pager_shards); warehouses are
+  // dense small ints, so modulo routing spreads them evenly.
+  for (int w = 0; w < config_.warehouses; ++w) {
+    pager_.UnsafeShardAt(static_cast<std::size_t>(w) % pager_.shard_count())[w].assign(
+        static_cast<std::size_t>(config_.items), 100);
+  }
 }
 
 std::uint64_t MiniSql::NewOrder(int warehouse, int district, const std::vector<int>& item_ids,
                                 Xoshiro256* rng) {
-  // Read phase under the pager lock (page-cache accesses).
-  int available = 0;
-  {
-    HandleGuard pager(*pager_lock_);
-    for (int item : item_ids) {
-      const std::size_t index = static_cast<std::size_t>(warehouse) *
-                                    static_cast<std::size_t>(config_.items) +
-                                static_cast<std::size_t>(item);
-      if (stock_[index] > 0) {
-        ++available;
-      }
-    }
-  }
+  // Read phase under the warehouse's pager-shard lock (page-cache accesses).
+  const int available = pager_.WithShardShared(
+      static_cast<std::uint64_t>(warehouse), [&](const StockShard& shard) {
+        const std::vector<int>& stock = shard.at(warehouse);
+        int in_stock = 0;
+        for (int item : item_ids) {
+          if (stock[static_cast<std::size_t>(item)] > 0) {
+            ++in_stock;
+          }
+        }
+        return in_stock;
+      });
   (void)available;
 
   // Write transaction under the single writer lock.
@@ -38,25 +42,32 @@ std::uint64_t MiniSql::NewOrder(int warehouse, int district, const std::vector<i
       (static_cast<std::uint64_t>(DistrictKey(warehouse, district)) << 32) | d.next_order_id;
   d.next_order_id++;
   order_counter_++;
-  {
-    // Stock lives in the page cache: the writer re-enters the pager lock
-    // for the updates (write -> pager nesting; the read phase above
-    // released its pager guard before the write lock was taken, so the
-    // order is acyclic). Without this, the NEW-ORDER stock writes race the
-    // pager-lock-only readers in StockLevel and the read phase.
-    HandleGuard pager(*pager_lock_);
-    for (int item : item_ids) {
-      const int quantity = 1 + static_cast<int>(rng->NextBelow(10));
-      order_lines_.push_back(OrderLine{order_id, item, quantity});
-      const std::size_t index = static_cast<std::size_t>(warehouse) *
-                                    static_cast<std::size_t>(config_.items) +
-                                static_cast<std::size_t>(item);
-      stock_[index] -= quantity;
-      if (stock_[index] < 10) {
-        stock_[index] += 91;  // TPC-C restock rule
+  // Quantities are drawn and order lines inserted under the writer lock
+  // (order_lines_ is writer-lock state; the RNG draw order per item is
+  // unchanged from the pre-sharding code).
+  std::vector<int> quantities;
+  quantities.reserve(item_ids.size());
+  for (int item : item_ids) {
+    const int quantity = 1 + static_cast<int>(rng->NextBelow(10));
+    quantities.push_back(quantity);
+    order_lines_.push_back(OrderLine{order_id, item, quantity});
+  }
+  // Stock lives in the page cache: the writer re-enters the warehouse's
+  // pager-shard lock for the updates (write -> pager-shard nesting; the
+  // read phase above released its shard guard before the write lock was
+  // taken, so the order is acyclic). Without this, the NEW-ORDER stock
+  // writes race the shard-lock-only readers in StockLevel and the read
+  // phase.
+  pager_.WithShard(static_cast<std::uint64_t>(warehouse), [&](StockShard& shard) {
+    std::vector<int>& stock = shard.at(warehouse);
+    for (std::size_t i = 0; i < item_ids.size(); ++i) {
+      const std::size_t index = static_cast<std::size_t>(item_ids[i]);
+      stock[index] -= quantities[i];
+      if (stock[index] < 10) {
+        stock[index] += 91;  // TPC-C restock rule
       }
     }
-  }
+  });
   if (order_lines_.size() > 200000) {
     order_lines_.erase(order_lines_.begin(),
                        order_lines_.begin() + static_cast<std::ptrdiff_t>(100000));
@@ -74,16 +85,17 @@ void MiniSql::Payment(int warehouse, int district, std::uint64_t customer, doubl
 
 int MiniSql::StockLevel(int warehouse, int district, int threshold) {
   (void)district;
-  HandleGuard pager(*pager_lock_);
-  int low = 0;
-  const std::size_t base =
-      static_cast<std::size_t>(warehouse) * static_cast<std::size_t>(config_.items);
-  for (int item = 0; item < config_.items; ++item) {
-    if (stock_[base + static_cast<std::size_t>(item)] < threshold) {
-      ++low;
-    }
-  }
-  return low;
+  return pager_.WithShardShared(
+      static_cast<std::uint64_t>(warehouse), [&](const StockShard& shard) {
+        const std::vector<int>& stock = shard.at(warehouse);
+        int low = 0;
+        for (int item = 0; item < config_.items; ++item) {
+          if (stock[static_cast<std::size_t>(item)] < threshold) {
+            ++low;
+          }
+        }
+        return low;
+      });
 }
 
 double MiniSql::WarehouseYtd(int warehouse) {

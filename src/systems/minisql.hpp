@@ -6,17 +6,26 @@
 // shared engine state (page cache, schema) with short-critical-section
 // mutexes; connection counts beyond the hardware oversubscribe the machine,
 // which is what breaks fair spinlocks in Figures 13-14.
+//
+// ShardCombine: the page-cache (stock) lock is the non-transactional path
+// that shards -- Config::pager_shards partitions stock by warehouse so
+// NEW-ORDER read phases and STOCK-LEVEL scans on different warehouses
+// stop colliding, and Config::rw lets those read paths take shared locks.
+// The single writer lock stays: that is SQLite's transactional shape and
+// the paper's contention point, deliberately untouched.
 #ifndef SRC_SYSTEMS_MINISQL_HPP_
 #define SRC_SYSTEMS_MINISQL_HPP_
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/platform/rng.hpp"
 #include "src/platform/thread_annotations.hpp"
 #include "src/systems/common.hpp"
+#include "src/systems/sharded.hpp"
 
 namespace lockin {
 
@@ -26,6 +35,10 @@ class MiniSql {
     int warehouses = 10;
     int districts_per_warehouse = 10;
     int items = 1000;
+    // Page-cache sharding (stock rows, keyed by warehouse). 1 = the
+    // original single pager lock; rw = shared locks on the read paths.
+    std::size_t pager_shards = 1;
+    bool rw = false;
   };
 
   MiniSql(const LockFactory& make_lock, Config config);
@@ -63,6 +76,9 @@ class MiniSql {
     int item_id;
     int quantity;
   };
+  // One pager shard holds the stock vectors of the warehouses that hash to
+  // it: warehouse -> [items] quantities.
+  using StockShard = std::unordered_map<int, std::vector<int>>;
 
   int DistrictKey(int warehouse, int district) const {
     return warehouse * config_.districts_per_warehouse + district;
@@ -70,15 +86,15 @@ class MiniSql {
 
   Config config_;
   // Engine-wide locks, mirroring SQLite: one writer lock serializing all
-  // mutations, one page-cache/schema lock crossed by reads too.
+  // mutations, plus the (now shardable) page-cache locks crossed by reads.
   std::unique_ptr<LockHandle> write_lock_;
-  std::unique_ptr<LockHandle> pager_lock_;
 
   std::vector<Warehouse> warehouses_ LL_GUARDED_BY(*write_lock_);
-  // Stock is page-cache state: read under the pager lock by NEW-ORDER's
-  // read phase and STOCK-LEVEL, and updated by writers holding the pager
-  // lock *inside* their write transaction (lock order: write -> pager).
-  std::vector<int> stock_ LL_GUARDED_BY(*pager_lock_);  // [warehouse * items + item]
+  // Stock is page-cache state: read under a pager-shard lock by NEW-ORDER's
+  // read phase and STOCK-LEVEL, and updated by writers holding the shard
+  // lock *inside* their write transaction (lock order: write -> pager-shard,
+  // acyclic because readers never take the write lock).
+  ShardedMap<StockShard> pager_;
   std::map<std::uint64_t, double> customers_ LL_GUARDED_BY(*write_lock_);  // balances
   std::vector<OrderLine> order_lines_ LL_GUARDED_BY(*write_lock_);
   std::uint64_t order_counter_ LL_GUARDED_BY(*write_lock_) = 0;

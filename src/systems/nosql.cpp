@@ -1,124 +1,110 @@
 #include "src/systems/nosql.hpp"
 
 namespace lockin {
+namespace {
+
+// All three backends route with the same multiplicative mix the old HT
+// region hash used: Nosql keys are small dense integers, and unmixed
+// modulo routing would stripe structured workloads lumpily.
+inline std::uint64_t RouteHash(std::uint64_t key) { return key * 0x9e3779b97f4a7c15ULL; }
+
+}  // namespace
 
 // --- CacheDb ---------------------------------------------------------------
 
 void CacheDb::Set(std::uint64_t key, std::string value) {
-  HandleGuard guard(*lock_);
-  map_[key] = std::move(value);
+  shards_.WithShard(RouteHash(key), [&](Map& map) { map[key] = std::move(value); });
 }
 
 bool CacheDb::Get(std::uint64_t key, std::string* out) {
-  HandleGuard guard(*lock_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
-    return false;
-  }
-  if (out != nullptr) {
-    *out = it->second;
-  }
-  return true;
+  return shards_.WithShardShared(RouteHash(key), [&](const Map& map) {
+    const auto it = map.find(key);
+    if (it == map.end()) {
+      return false;
+    }
+    if (out != nullptr) {
+      *out = it->second;
+    }
+    return true;
+  });
 }
 
 bool CacheDb::Remove(std::uint64_t key) {
-  HandleGuard guard(*lock_);
-  return map_.erase(key) != 0;
+  return shards_.WithShard(RouteHash(key), [&](Map& map) { return map.erase(key) != 0; });
 }
 
 void CacheDb::Append(std::uint64_t key, const std::string& suffix) {
-  HandleGuard guard(*lock_);
-  map_[key] += suffix;
+  shards_.WithShard(RouteHash(key), [&](Map& map) { map[key] += suffix; });
 }
 
 std::size_t CacheDb::Count() {
-  HandleGuard guard(*lock_);
-  return map_.size();
+  std::size_t total = 0;
+  shards_.ForEachShard([&total](Map& map) { total += map.size(); });
+  return total;
 }
 
 // --- HashDb ----------------------------------------------------------------
 
-HashDb::HashDb(const LockFactory& make_lock, std::size_t regions) {
-  regions_.resize(regions);
-  for (Region& region : regions_) {
-    region.lock = make_lock();
-  }
-}
-
-HashDb::Region& HashDb::RegionFor(std::uint64_t key) {
-  // Multiplicative hash; regions are a small power-of-two-ish count.
-  const std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
-  return regions_[h % regions_.size()];
-}
-
 void HashDb::Set(std::uint64_t key, std::string value) {
-  Region& region = RegionFor(key);
-  HandleGuard guard(*region.lock);
-  region.map[key] = std::move(value);
+  shards_.WithShard(RouteHash(key), [&](Map& map) { map[key] = std::move(value); });
 }
 
 bool HashDb::Get(std::uint64_t key, std::string* out) {
-  Region& region = RegionFor(key);
-  HandleGuard guard(*region.lock);
-  const auto it = region.map.find(key);
-  if (it == region.map.end()) {
-    return false;
-  }
-  if (out != nullptr) {
-    *out = it->second;
-  }
-  return true;
+  return shards_.WithShardShared(RouteHash(key), [&](const Map& map) {
+    const auto it = map.find(key);
+    if (it == map.end()) {
+      return false;
+    }
+    if (out != nullptr) {
+      *out = it->second;
+    }
+    return true;
+  });
 }
 
 bool HashDb::Remove(std::uint64_t key) {
-  Region& region = RegionFor(key);
-  HandleGuard guard(*region.lock);
-  return region.map.erase(key) != 0;
+  return shards_.WithShard(RouteHash(key), [&](Map& map) { return map.erase(key) != 0; });
 }
 
 void HashDb::Append(std::uint64_t key, const std::string& suffix) {
-  Region& region = RegionFor(key);
-  HandleGuard guard(*region.lock);
-  region.map[key] += suffix;
+  shards_.WithShard(RouteHash(key), [&](Map& map) { map[key] += suffix; });
 }
 
 std::size_t HashDb::Count() {
   std::size_t total = 0;
-  for (Region& region : regions_) {
-    HandleGuard guard(*region.lock);
-    total += region.map.size();
-  }
+  shards_.ForEachShard([&total](Map& map) { total += map.size(); });
   return total;
 }
 
 // --- TreeDb ----------------------------------------------------------------
 
 void TreeDb::Set(std::uint64_t key, std::string value) {
-  HandleGuard guard(*lock_);
-  tree_.Put(key, std::move(value));
+  shards_.WithShard(RouteHash(key),
+                    [&](BPlusTree& tree) { tree.Put(key, std::move(value)); });
 }
 
 bool TreeDb::Get(std::uint64_t key, std::string* out) {
-  HandleGuard guard(*lock_);
-  return tree_.Get(key, out);
+  return shards_.WithShardShared(RouteHash(key),
+                                 [&](const BPlusTree& tree) { return tree.Get(key, out); });
 }
 
 bool TreeDb::Remove(std::uint64_t key) {
-  HandleGuard guard(*lock_);
-  return tree_.Erase(key);
+  return shards_.WithShard(RouteHash(key), [&](BPlusTree& tree) { return tree.Erase(key); });
 }
 
 void TreeDb::Append(std::uint64_t key, const std::string& suffix) {
-  HandleGuard guard(*lock_);
-  std::string value;
-  tree_.Get(key, &value);
-  value += suffix;
-  tree_.Put(key, std::move(value));
+  shards_.WithShard(RouteHash(key), [&](BPlusTree& tree) {
+    std::string value;
+    tree.Get(key, &value);
+    value += suffix;
+    tree.Put(key, std::move(value));
+  });
 }
 
 std::size_t TreeDb::Count() {
-  HandleGuard guard(*lock_);
-  return tree_.size();
+  std::size_t total = 0;
+  shards_.ForEachShard([&total](BPlusTree& tree) { total += tree.size(); });
+  return total;
 }
 
 }  // namespace lockin

@@ -5,18 +5,22 @@
 // the paper exploits: Kyoto serializes most operations behind very few
 // locks with *short* critical sections, which is why swapping MUTEX out
 // produces the paper's largest wins (1.5-1.85x, Figures 13-14).
+//
+// ShardCombine: all three backends sit on the same ShardedMap router now.
+// CACHE and B-TREE default to one shard (whole-DB locking, the paper
+// shape); HT keeps its 8 bucket regions as 8 shards. ShardOptions opens
+// the scale path uniformly: more shards, flat-combined hot shards
+// (combine), shared-lock Gets (rw).
 #ifndef SRC_SYSTEMS_NOSQL_HPP_
 #define SRC_SYSTEMS_NOSQL_HPP_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
-#include "src/platform/thread_annotations.hpp"
 #include "src/systems/btree.hpp"
 #include "src/systems/common.hpp"
+#include "src/systems/sharded.hpp"
 
 namespace lockin {
 
@@ -35,10 +39,11 @@ class NosqlDb {
   virtual const char* backend() const = 0;
 };
 
-// CACHE: one hash map behind a single whole-database lock.
+// CACHE: hash map(s) behind whole-DB locking (one shard by default).
 class CacheDb final : public NosqlDb {
  public:
-  explicit CacheDb(const LockFactory& make_lock) : lock_(make_lock()) {}
+  explicit CacheDb(const LockFactory& make_lock, ShardOptions options = {})
+      : shards_(make_lock, options) {}
 
   void Set(std::uint64_t key, std::string value) override;
   bool Get(std::uint64_t key, std::string* out) override;
@@ -48,15 +53,19 @@ class CacheDb final : public NosqlDb {
   const char* backend() const override { return "CACHE"; }
 
  private:
-  std::unique_ptr<LockHandle> lock_;
-  std::unordered_map<std::uint64_t, std::string> map_ LL_GUARDED_BY(*lock_);
+  using Map = std::unordered_map<std::uint64_t, std::string>;
+  ShardedMap<Map> shards_;
 };
 
 // HT DB: hash database with a small number of bucket-region locks (Kyoto
-// uses 8-ish mutexes over bucket regions).
+// uses 8-ish mutexes over bucket regions) -- i.e. 8 shards by default.
 class HashDb final : public NosqlDb {
  public:
-  HashDb(const LockFactory& make_lock, std::size_t regions = 8);
+  explicit HashDb(const LockFactory& make_lock, ShardOptions options = ShardOptions{8, false, false})
+      : shards_(make_lock, options) {}
+  // Legacy region-count constructor (pre-ShardCombine callers).
+  HashDb(const LockFactory& make_lock, std::size_t regions)
+      : HashDb(make_lock, ShardOptions{regions, false, false}) {}
 
   void Set(std::uint64_t key, std::string value) override;
   bool Get(std::uint64_t key, std::string* out) override;
@@ -66,20 +75,16 @@ class HashDb final : public NosqlDb {
   const char* backend() const override { return "HT"; }
 
  private:
-  struct Region {
-    std::unique_ptr<LockHandle> lock;
-    std::unordered_map<std::uint64_t, std::string> map LL_GUARDED_BY(*lock);
-  };
-  Region& RegionFor(std::uint64_t key);
-
-  std::vector<Region> regions_;
+  using Map = std::unordered_map<std::uint64_t, std::string>;
+  ShardedMap<Map> shards_;
 };
 
-// B-TREE: B+-tree behind a single lock (Kyoto's TreeDB serializes through
-// one mutex protecting its page cache).
+// B-TREE: B+-tree partitions behind whole-DB locking by default (Kyoto's
+// TreeDB serializes through one mutex protecting its page cache).
 class TreeDb final : public NosqlDb {
  public:
-  explicit TreeDb(const LockFactory& make_lock) : lock_(make_lock()) {}
+  explicit TreeDb(const LockFactory& make_lock, ShardOptions options = {})
+      : shards_(make_lock, options) {}
 
   void Set(std::uint64_t key, std::string value) override;
   bool Get(std::uint64_t key, std::string* out) override;
@@ -89,8 +94,7 @@ class TreeDb final : public NosqlDb {
   const char* backend() const override { return "B-TREE"; }
 
  private:
-  std::unique_ptr<LockHandle> lock_;
-  BPlusTree tree_ LL_GUARDED_BY(*lock_);
+  ShardedMap<BPlusTree> shards_;
 };
 
 }  // namespace lockin

@@ -12,9 +12,11 @@ namespace lockin {
 void CacheScenario::Setup(const ScenarioConfig& config) {
   get_percent_ = config.read_percent >= 0 ? config.read_percent : params_.get_percent;
   key_space_ = config.key_space != 0 ? config.key_space : params_.key_space;
+  const ShardOptions shard_options = ShardOptionsFrom(config, params_.shards);
   cache_ = std::make_unique<MemCache>(
       config.MakeLockFactory(),
-      MemCache::Config{params_.shards, params_.capacity, params_.lru_mode});
+      MemCache::Config{shard_options.shards, params_.capacity, params_.lru_mode,
+                       shard_options.combine, shard_options.rw});
 }
 
 std::vector<std::string> CacheScenario::CounterNames() const {

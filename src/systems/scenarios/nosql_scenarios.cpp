@@ -34,13 +34,17 @@ class NosqlScenario final : public ScenarioWorkload {
     append_below_ = read_percent + writes * 9 / 10;
     switch (params_.backend) {
       case Backend::kCache:
-        db_ = std::make_unique<CacheDb>(config.MakeLockFactory());
+        db_ = std::make_unique<CacheDb>(config.MakeLockFactory(),
+                                        ShardOptionsFrom(config, /*default_shards=*/1));
         break;
       case Backend::kHash:
-        db_ = std::make_unique<HashDb>(config.MakeLockFactory());
+        // HT keeps Kyoto's 8 bucket regions as its default shard count.
+        db_ = std::make_unique<HashDb>(config.MakeLockFactory(),
+                                       ShardOptionsFrom(config, /*default_shards=*/8));
         break;
       case Backend::kTree:
-        db_ = std::make_unique<TreeDb>(config.MakeLockFactory());
+        db_ = std::make_unique<TreeDb>(config.MakeLockFactory(),
+                                       ShardOptionsFrom(config, /*default_shards=*/1));
         break;
     }
     preloaded_ = 0;

@@ -30,6 +30,19 @@ void RegisterWalStoreScenarios(ScenarioRegistry& registry);
 void RegisterCowListScenarios(ScenarioRegistry& registry);
 void RegisterRwLockScenarios(ScenarioRegistry& registry);
 
+// ShardCombine: maps the generic ScenarioConfig knobs onto a system's
+// ShardOptions. config.shards == 0 keeps the scenario's registered default
+// shard count (the paper shape); combine/rw pass through (ShardedMap
+// rejects the combination at construction).
+inline ShardOptions ShardOptionsFrom(const ScenarioConfig& config,
+                                     std::size_t default_shards) {
+  ShardOptions options;
+  options.shards = config.shards != 0 ? config.shards : default_shards;
+  options.combine = config.combine;
+  options.rw = config.rw;
+  return options;
+}
+
 // Formats "<prefix><n>" into *out without a std::to_string temporary; with
 // a warm capacity this performs no allocation (the hot-path idiom the cache
 // driver established).

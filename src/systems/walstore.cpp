@@ -1,39 +1,46 @@
 #include "src/systems/walstore.hpp"
 
 #include <cstdlib>
+#include <utility>
 
 #include "src/platform/failpoint.hpp"
 
 namespace lockin {
 
-WalStore::WalStore(const LockFactory& make_lock, const std::string& wal_path)
-    : db_lock_(make_lock()), read_lock_(make_lock()) {
+WalStore::WalStore(const LockFactory& make_lock, const std::string& wal_path, Options options)
+    : db_lock_(make_lock()), memtable_(make_lock, MemtableOptions(options)) {
   auto log = std::make_unique<WalLog>(wal_path);
   std::vector<std::string> records;
   const WalLog::RecoverResult recovered = log->Recover(&records);
   recovery_info_.records = recovered.valid_records;
   recovery_info_.dropped_bytes = recovered.dropped_bytes;
   recovery_info_.truncated = recovered.truncated;
-  {
-    // Replay the surviving records in order. Record format (one op each):
-    // "P <key> <value>" / "D <key>".
-    HandleGuard read_guard(*read_lock_);
-    for (const std::string& record : records) {
-      if (record.size() < 3 || record[1] != ' ') {
-        continue;  // unknown record shape; recovery is best-effort
-      }
-      const std::size_t key_end = record.find(' ', 2);
-      const std::uint64_t key =
-          std::strtoull(record.c_str() + 2, nullptr, 10);
-      if (record[0] == 'D') {
-        memtable_.erase(key);
-      } else if (record[0] == 'P' && key_end != std::string::npos) {
-        memtable_[key] = record.substr(key_end + 1);
-      }
+  // Replay the surviving records in order. Record format (one op each):
+  // "P <key> <value>" / "D <key>".
+  for (const std::string& record : records) {
+    if (record.size() < 3 || record[1] != ' ') {
+      continue;  // unknown record shape; recovery is best-effort
+    }
+    const std::size_t key_end = record.find(' ', 2);
+    const std::uint64_t key = std::strtoull(record.c_str() + 2, nullptr, 10);
+    if (record[0] == 'D') {
+      ApplyToMemtable(key, std::string(), true);
+    } else if (record[0] == 'P' && key_end != std::string::npos) {
+      ApplyToMemtable(key, record.substr(key_end + 1), false);
     }
   }
   HandleGuard db_guard(*db_lock_);
   wal_log_ = std::move(log);
+}
+
+void WalStore::ApplyToMemtable(std::uint64_t key, std::string&& value, bool is_delete) {
+  memtable_.WithShard(ShardedMap<Memtable>::MixHash(key), [&](Memtable& memtable) {
+    if (is_delete) {
+      memtable.erase(key);
+    } else {
+      memtable[key] = std::move(value);
+    }
+  });
 }
 
 void WalStore::RunBatchLocked() {
@@ -83,15 +90,10 @@ void WalStore::RunBatchLocked() {
   wal_records_ += batch.size();
   ++batches_;
 
-  {
-    HandleGuard read_guard(*read_lock_);
-    for (WriteRequest* req : batch) {
-      if (req->is_delete) {
-        memtable_.erase(req->key);
-      } else {
-        memtable_[req->key] = std::move(req->value);
-      }
-    }
+  // Apply in sequence order; each write takes only its key's shard lock
+  // (db_lock_ -> shard lock, readers never take db_lock_, so acyclic).
+  for (WriteRequest* req : batch) {
+    ApplyToMemtable(req->key, std::move(req->value), req->is_delete);
   }
   for (WriteRequest* req : batch) {
     req->done = true;
@@ -144,20 +146,23 @@ void WalStore::Delete(std::uint64_t key) {
 }
 
 bool WalStore::Get(std::uint64_t key, std::string* out) {
-  HandleGuard guard(*read_lock_);
-  const auto it = memtable_.find(key);
-  if (it == memtable_.end()) {
-    return false;
-  }
-  if (out != nullptr) {
-    *out = it->second;
-  }
-  return true;
+  return memtable_.WithShardShared(ShardedMap<Memtable>::MixHash(key),
+                                   [&](const Memtable& memtable) {
+    const auto it = memtable.find(key);
+    if (it == memtable.end()) {
+      return false;
+    }
+    if (out != nullptr) {
+      *out = it->second;
+    }
+    return true;
+  });
 }
 
 std::size_t WalStore::MemtableSize() {
-  HandleGuard guard(*read_lock_);
-  return memtable_.size();
+  std::size_t total = 0;
+  memtable_.ForEachShard([&total](Memtable& memtable) { total += memtable.size(); });
+  return total;
 }
 
 }  // namespace lockin

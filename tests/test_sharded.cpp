@@ -1,0 +1,396 @@
+// ShardCombine tests (src/systems/sharded.hpp): CombinerChannel's
+// publication/drain protocol, ShardedMap routing and mode selection, the
+// sharded-vs-single equivalence the rebased systems rely on, and the
+// per-system counter invariants under every shards x combine x rw x lock
+// combination -- sharding must never change what the systems compute, only
+// how the locks are carved up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/lockdep.hpp"
+#include "src/locks/lock_registry.hpp"
+#include "src/platform/failpoint.hpp"
+#include "src/systems/kvstore.hpp"
+#include "src/systems/sharded.hpp"
+#include "src/systems/workload_api.hpp"
+
+namespace lockin {
+namespace {
+
+LockFactory Mutex() { return NamedLockFactory("MUTEX", /*yield_after=*/64); }
+
+// --- CombinerChannel ---------------------------------------------------------
+
+TEST(CombinerChannel, UncontendedExecuteRunsInline) {
+  std::unique_ptr<LockHandle> lock = Mutex()();
+  CombinerChannel channel;
+  int counter = 0;
+  for (int i = 0; i < 100; ++i) {
+    channel.Execute(*lock, [&counter] { ++counter; });
+  }
+  EXPECT_EQ(counter, 100);
+  // Alone, every request is drained by its own publisher: nothing was
+  // combined and the channel never saturated.
+  EXPECT_EQ(channel.combined_ops(), 0u);
+  EXPECT_EQ(channel.fallback_ops(), 0u);
+}
+
+TEST(CombinerChannel, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::unique_ptr<LockHandle> lock = Mutex()();
+  CombinerChannel channel;
+  std::uint64_t counter = 0;  // plain: the channel IS the synchronization
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        channel.Execute(*lock, [&counter] { ++counter; });
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// Saturation + combining, deterministically: main holds the lock so no
+// publisher can drain, 12 publishers fight over 8 slots, so at least 4
+// must take the saturated-channel fallback (which then blocks on the held
+// lock). Once fallback_ops shows 4, all 8 slots are provably occupied;
+// unlocking lets whoever wins the lock drain the other publishers'
+// requests in one hold -- the combining the channel exists for.
+TEST(CombinerChannel, SaturatedChannelFallsBackAndDrainCombines) {
+  constexpr int kPublishers = 12;
+  std::unique_ptr<LockHandle> lock = Mutex()();
+  CombinerChannel channel;
+  std::uint64_t counter = 0;
+  lock->lock();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kPublishers; ++t) {
+    threads.emplace_back([&] { channel.Execute(*lock, [&counter] { ++counter; }); });
+  }
+  while (channel.fallback_ops() < kPublishers - CombinerChannel::kSlots) {
+    std::this_thread::yield();
+  }
+  lock->unlock();
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kPublishers));
+  EXPECT_GE(channel.fallback_ops(), kPublishers - CombinerChannel::kSlots);
+  // The first post-unlock drain ran >= kSlots - 1 requests published by
+  // other threads (kSlots if a fallback thread won the lock).
+  EXPECT_GE(channel.combined_ops(), CombinerChannel::kSlots - 1);
+}
+
+// --- ShardedMap --------------------------------------------------------------
+
+using IntMap = std::map<std::uint64_t, std::uint64_t>;
+
+TEST(ShardedMap, RoutesHashModuloShards) {
+  ShardedMap<IntMap> map(Mutex(), ShardOptions{4, false, false});
+  ASSERT_EQ(map.shard_count(), 4u);
+  for (std::uint64_t hash = 0; hash < 100; ++hash) {
+    EXPECT_EQ(map.IndexFor(hash), hash % 4);
+    map.WithShard(hash, [hash](IntMap& table) { table[hash] = hash; });
+  }
+  // Every write landed in exactly the shard IndexFor names.
+  for (std::uint64_t hash = 0; hash < 100; ++hash) {
+    EXPECT_EQ(map.UnsafeShardAt(hash % 4).count(hash), 1u) << hash;
+  }
+}
+
+TEST(ShardedMap, ZeroShardsClampsToOne) {
+  ShardedMap<IntMap> map(Mutex(), ShardOptions{0, false, false});
+  EXPECT_EQ(map.shard_count(), 1u);
+  EXPECT_EQ(map.IndexFor(12345), 0u);
+}
+
+TEST(ShardedMap, CombineAndRwAreMutuallyExclusive) {
+  EXPECT_THROW(ShardedMap<IntMap>(Mutex(), ShardOptions{4, true, true}), std::invalid_argument);
+}
+
+TEST(ShardedMap, ForEachShardAggregates) {
+  ShardedMap<IntMap> map(Mutex(), ShardOptions{8, false, false});
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    map.WithShard(ShardedMap<IntMap>::MixHash(key), [key](IntMap& table) { table[key] = 1; });
+  }
+  std::size_t total = 0;
+  map.ForEachShard([&total](IntMap& table) { total += table.size(); });
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(ShardedMap, MixHashSpreadsDenseKeys) {
+  // Sequential integer keys must land near-uniformly across shards
+  // (binomial mean 512, sd ~21 here; the bounds are > 5 sd out).
+  constexpr std::uint64_t kKeys = 4096;
+  constexpr std::size_t kShards = 8;
+  std::size_t counts[kShards] = {};
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    ++counts[ShardedMap<IntMap>::MixHash(key) % kShards];
+  }
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    EXPECT_GT(counts[shard], 384u) << shard;
+    EXPECT_LT(counts[shard], 640u) << shard;
+  }
+}
+
+TEST(ShardedMap, CombineModeReturnsValues) {
+  // Non-void combined ops park the result on the publisher's stack.
+  ShardedMap<IntMap> map(Mutex(), ShardOptions{2, true, false});
+  map.WithShard(7, [](IntMap& table) { table[7] = 70; });
+  const std::uint64_t value =
+      map.WithShard(7, [](IntMap& table) -> std::uint64_t { return table.at(7); });
+  EXPECT_EQ(value, 70u);
+  EXPECT_EQ(map.WithShardShared(8, [](const IntMap& table) { return table.size(); }), 0u);
+}
+
+TEST(ShardedMap, RwModeSharedReadersSeeExclusiveWrites) {
+  ShardedMap<IntMap> map(Mutex(), ShardOptions{2, false, true});
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Shared mode hands the closure a const Table&; a torn map would
+        // crash or miscount here.
+        map.WithShardSharedAt(0, [&reads](const IntMap& table) {
+          reads.fetch_add(table.size(), std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    map.WithShardAt(0, [i](IntMap& table) { table[i] = i; });
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(map.WithShardSharedAt(0, [](const IntMap& table) { return table.size(); }), 2000u);
+}
+
+// --- Sharded vs single-lock equivalence --------------------------------------
+
+// The same deterministic op tape against one-lock, sharded and combined
+// KvStores must produce identical op results, sizes and range counts:
+// partitioning a B+-tree by key hash is invisible to callers.
+TEST(ShardedEquivalence, KvStoreShardedMatchesSingleLock) {
+  KvStore single(Mutex(), KvStore::Options{1, false, false});
+  KvStore sharded(Mutex(), KvStore::Options{5, false, false});  // non-power-of-two
+  KvStore combined(Mutex(), KvStore::Options{4, true, false});
+  KvStore* stores[] = {&single, &sharded, &combined};
+
+  std::uint64_t state = 42;
+  auto next = [&state] {  // xorshift64: cheap deterministic tape
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int op = 0; op < 4000; ++op) {
+    const std::uint64_t key = next() % 512;
+    const int kind = static_cast<int>(next() % 4);
+    bool expected = false;
+    for (int s = 0; s < 3; ++s) {
+      bool got = false;
+      switch (kind) {
+        case 0: {
+          // snprintf sidesteps GCC 12's -Wrestrict false positive on
+          // `"v" + std::to_string(op)` (PR105329, see test_systems.cpp).
+          char value[16];
+          std::snprintf(value, sizeof value, "v%d", op);
+          got = stores[s]->Put(key, value);
+          break;
+        }
+        case 1: {
+          std::string value;
+          got = stores[s]->Get(key, &value);
+          break;
+        }
+        case 2:
+          got = stores[s]->Erase(key);
+          break;
+        default:
+          got = stores[s]->CountRange(key, key + 64) > 0;
+          break;
+      }
+      if (s == 0) {
+        expected = got;
+      } else {
+        EXPECT_EQ(got, expected) << "op " << op << " kind " << kind << " store " << s;
+      }
+    }
+  }
+  EXPECT_EQ(sharded.Size(), single.Size());
+  EXPECT_EQ(combined.Size(), single.Size());
+  EXPECT_EQ(sharded.CountRange(0, 511), single.CountRange(0, 511));
+  EXPECT_EQ(combined.CountRange(0, 511), single.CountRange(0, 511));
+  EXPECT_TRUE(sharded.CheckInvariants());
+  EXPECT_TRUE(combined.CheckInvariants());
+}
+
+// --- Scenario invariants across the shards x combine x rw x lock matrix ------
+
+// Linearizability facts (kvstore size accounting, the graph's write-ahead
+// log count, WAL record count, TPC-C YTD consistency) must hold however
+// the locks are carved up: single lock, sharded, flat-combined shards, or
+// reader-writer shards, under a sleeping and a spinning lock alike.
+class ShardMatrix : public ::testing::TestWithParam<std::string> {
+ protected:
+  ScenarioResult Run(const std::string& scenario, std::uint32_t shards, bool combine, bool rw) {
+    ScenarioConfig config;
+    config.lock_name = GetParam();
+    config.threads = 4;
+    config.ops_per_thread = 600;
+    config.key_space = 512;
+    config.yield_after = 64;
+    config.record_latency = false;
+    config.meter = MeterChoice::kOff;
+    config.shards = shards;
+    config.combine = combine;
+    config.rw = rw;
+    return RunScenarioByName(scenario, config);
+  }
+
+  struct Variant {
+    const char* name;
+    std::uint32_t shards;
+    bool combine;
+    bool rw;
+  };
+  static constexpr Variant kVariants[] = {
+      {"single", 1, false, false},
+      {"sharded", 4, false, false},
+      {"combined", 4, true, false},
+      {"rw", 4, false, true},
+  };
+};
+
+constexpr ShardMatrix::Variant ShardMatrix::kVariants[];
+
+TEST_P(ShardMatrix, KvStoreSizeAccounting) {
+  for (const Variant& v : kVariants) {
+    const ScenarioResult r = Run("kvstore/WT-RD", v.shards, v.combine, v.rw);
+    EXPECT_EQ(r.MetricOr("size"),
+              r.MetricOr("preloaded") + r.MetricOr("puts_new") - r.MetricOr("erases_hit"))
+        << v.name;
+    EXPECT_EQ(r.MetricOr("invariants_ok"), 1.0) << v.name;
+  }
+}
+
+TEST_P(ShardMatrix, NosqlCountBounds) {
+  for (const char* scenario : {"nosql/btree", "nosql/hash"}) {
+    for (const Variant& v : kVariants) {
+      const ScenarioResult r = Run(scenario, v.shards, v.combine, v.rw);
+      EXPECT_LE(r.MetricOr("count"),
+                r.MetricOr("preloaded") + r.MetricOr("sets") + r.MetricOr("appends"))
+          << scenario << "/" << v.name;
+      EXPECT_GE(r.MetricOr("count"), r.MetricOr("preloaded") - r.MetricOr("removes_hit"))
+          << scenario << "/" << v.name;
+    }
+  }
+}
+
+TEST_P(ShardMatrix, GraphLogRecordsMatchWrites) {
+  for (const Variant& v : kVariants) {
+    const ScenarioResult r = Run("graph/update", v.shards, v.combine, v.rw);
+    EXPECT_EQ(r.MetricOr("log_records"),
+              r.MetricOr("preload_log_records") + r.MetricOr("logged_writes"))
+        << v.name;
+    EXPECT_EQ(r.MetricOr("node_read_hits"), r.MetricOr("node_reads")) << v.name;
+  }
+}
+
+TEST_P(ShardMatrix, WalStoreEveryWriteLands) {
+  for (const Variant& v : kVariants) {
+    const ScenarioResult r = Run("walstore/readwrite", v.shards, v.combine, v.rw);
+    EXPECT_EQ(r.MetricOr("wal_records"),
+              r.MetricOr("preloaded") + r.MetricOr("puts") + r.MetricOr("deletes"))
+        << v.name;
+  }
+}
+
+TEST_P(ShardMatrix, MiniSqlYtdConsistency) {
+  for (const Variant& v : kVariants) {
+    const ScenarioResult r = Run("minisql/neworder", v.shards, v.combine, v.rw);
+    EXPECT_EQ(r.MetricOr("order_count"), r.MetricOr("neworders")) << v.name;
+    EXPECT_DOUBLE_EQ(r.MetricOr("warehouse_ytd"), r.MetricOr("payments")) << v.name;
+    EXPECT_DOUBLE_EQ(r.MetricOr("district_ytd"), r.MetricOr("warehouse_ytd")) << v.name;
+  }
+}
+
+TEST_P(ShardMatrix, CacheHitsBounded) {
+  for (const Variant& v : kVariants) {
+    const ScenarioResult r = Run("cache/set-heavy", v.shards, v.combine, v.rw);
+    EXPECT_LE(r.MetricOr("get_hits"), r.MetricOr("gets")) << v.name;
+    EXPECT_EQ(r.MetricOr("evictions"), 0.0) << v.name;
+    EXPECT_GT(r.MetricOr("size"), 0.0) << v.name;
+    EXPECT_LE(r.MetricOr("size"), 513.0) << v.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Locks, ShardMatrix, ::testing::Values("MUTEX", "TICKET"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// --- Chaos + lockdep over the sharded paths ----------------------------------
+
+// DefaultChaosSpec (spurious wakes, wake-all herds, delay injection) with
+// the lockdep detector armed, over sharded / combined / rw configurations:
+// the invariants must survive the faults and the multi-lock carve-up must
+// introduce zero lock-order cycles (db lock -> shard lock orderings stay
+// acyclic; combined closures never take a second lock).
+TEST(ShardChaos, ShardedPathsSurviveChaosWithLockdepClean) {
+  LockdepReset();
+  struct Case {
+    const char* scenario;
+    std::uint32_t shards;
+    bool combine;
+    bool rw;
+  };
+  const Case cases[] = {
+      {"kvstore/WT-RD", 4, true, false},   {"nosql/btree", 4, true, false},
+      {"graph/update", 4, true, false},    {"walstore/readwrite", 4, true, false},
+      {"cache/get-heavy", 4, false, true}, {"minisql/neworder", 4, false, true},
+  };
+  for (const Case& c : cases) {
+    ScenarioConfig config;
+    config.lock_name = "MUTEX";
+    config.threads = 4;
+    config.ops_per_thread = 800;
+    config.key_space = 512;
+    config.yield_after = 64;
+    config.record_latency = false;
+    config.meter = MeterChoice::kOff;
+    config.failpoints = DefaultChaosSpec();
+    config.lockdep = true;
+    config.shards = c.shards;
+    config.combine = c.combine;
+    config.rw = c.rw;
+    const ScenarioResult r = RunScenarioByName(c.scenario, config);
+    EXPECT_EQ(r.total_ops, 3200u) << c.scenario;
+  }
+  const LockdepStats stats = LockdepGetStats();
+  EXPECT_GT(stats.events, 0u);
+  EXPECT_EQ(stats.cycles, 0u);
+  for (const LockdepReport& report : LockdepReports()) {
+    EXPECT_NE(report.kind, LockdepViolationKind::kCycle) << report.Describe();
+  }
+}
+
+}  // namespace
+}  // namespace lockin
