@@ -38,6 +38,8 @@
 #include "bench/bench_common.hpp"
 #include "src/locks/harness.hpp"
 #include "src/locks/static_dispatch.hpp"
+#include "src/net/loadgen.hpp"
+#include "src/net/server.hpp"
 #include "src/platform/cycles.hpp"
 #include "src/systems/cache_workload.hpp"
 #include "src/systems/workload_api.hpp"
@@ -301,6 +303,55 @@ std::vector<ScalingRow> MeasureScaling(const BenchOptions& options) {
   return rows;
 }
 
+// --- NetServe loopback serving -----------------------------------------------
+
+struct NetServeRow {
+  std::string lock;
+  std::size_t pipeline = 0;
+  double requests_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t busy = 0;
+};
+
+// Requests/s and service percentiles for the epoll front-end over real
+// loopback sockets, per lock and pipeline depth. Client and server run in
+// one process (src/net/loadgen.hpp); on this 1-vCPU-class host the numbers
+// measure the full stack -- epoll, RESP parsing, the lock under the cache
+// -- not isolated lock throughput, so the tracked signal is the pipeline
+// scaling ratio and the lock-to-lock ordering, not the absolute rate.
+std::vector<NetServeRow> MeasureNetServe(const BenchOptions& options) {
+  const std::size_t pipelines[] = {1, 8, 64};
+  std::vector<NetServeRow> rows;
+  for (const char* lock : {"MUTEX", "TICKET", "MUTEXEE"}) {
+    NetServerOptions server_options;
+    server_options.backend.system = "cache";
+    server_options.backend.lock_name = lock;
+    server_options.workers = 1;
+    LockServer server(server_options);
+    server.Start();
+    for (const std::size_t pipeline : pipelines) {
+      LoadgenOptions load;
+      load.port = server.port();
+      load.connections = 2;
+      load.pipeline = pipeline;
+      load.duration_ms = options.quick ? 150 : 500;
+      const LoadgenResult result = RunLoadgen(load);
+      NetServeRow row;
+      row.lock = lock;
+      row.pipeline = pipeline;
+      row.requests_per_s = result.RequestsPerS();
+      row.p50_us = static_cast<double>(result.latency_ns.P50()) / 1000.0;
+      row.p99_us = static_cast<double>(result.latency_ns.P99()) / 1000.0;
+      row.busy = result.busy;
+      rows.push_back(row);
+    }
+    server.Drain();
+    server.Join();
+  }
+  return rows;
+}
+
 }  // namespace
 }  // namespace lockin
 
@@ -398,6 +449,19 @@ int main(int argc, char** argv) {
             std::string("ShardCombine thread scaling (") + kScalingLock +
                 ", best-of-3): single-lock vs sharded vs flat-combined, 1/2/4/8 threads");
 
+  // --- 6. NetServe: served throughput over loopback -------------------------
+  const std::vector<NetServeRow> net_rows = MeasureNetServe(options);
+  TextTable net_table({"lock", "pipeline", "requests/s", "p50_us", "p99_us", "busy"});
+  for (const NetServeRow& row : net_rows) {
+    net_table.AddRow({row.lock, std::to_string(row.pipeline),
+                      FormatDouble(row.requests_per_s, 0), FormatDouble(row.p50_us, 1),
+                      FormatDouble(row.p99_us, 1), std::to_string(row.busy)});
+  }
+  EmitTable(net_table,
+            options,
+            "NetServe loopback serving (cache system, 1 worker, 2 connections): requests/s "
+            "and reply latency per lock x pipeline depth");
+
   // --- Machine-readable trajectory record ----------------------------------
   std::ofstream json("BENCH_native.json");
   json << "{\n"
@@ -462,6 +526,18 @@ int main(int argc, char** argv) {
          << ", \"combine\": " << (row.combine ? "true" : "false")
          << ", \"threads\": " << row.threads << ", \"mops\": " << FormatDouble(row.mops, 4)
          << "}" << (i + 1 < scaling_rows.size() ? "," : "") << "\n";
+  }
+  // NetServe trajectory section: served requests/s + reply latency over
+  // loopback per lock and pipeline depth (see MeasureNetServe).
+  json << "  ],\n"
+       << "  \"net_serve\": [\n";
+  for (std::size_t i = 0; i < net_rows.size(); ++i) {
+    const NetServeRow& row = net_rows[i];
+    json << "    {\"lock\": \"" << row.lock << "\", \"system\": \"cache\", \"pipeline\": "
+         << row.pipeline << ", \"requests_per_s\": " << FormatDouble(row.requests_per_s, 0)
+         << ", \"p50_us\": " << FormatDouble(row.p50_us, 2)
+         << ", \"p99_us\": " << FormatDouble(row.p99_us, 2)
+         << ", \"busy\": " << row.busy << "}" << (i + 1 < net_rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::cout << "wrote BENCH_native.json\n";

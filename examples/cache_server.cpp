@@ -6,37 +6,32 @@
 // A thin wrapper over the unified scenario API's "cache/*" scenarios, with
 // the GET share overridden through the generic read_percent knob.
 //
+// This is the *in-process* cache demo. Its networked successors are
+// examples/lock_server (the same MemCache served over a real RESP socket)
+// and examples/loadgen (the pipelined client driving it).
+//
 //   $ ./cache_server [get_percent]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
+#include "examples/example_common.hpp"
 #include "src/systems/workload_api.hpp"
 
 int main(int argc, char** argv) {
   using namespace lockin;
-  const int get_percent = argc > 1 ? std::atoi(argv[1]) : 50;
+  const int get_percent = std::clamp(argc > 1 ? std::atoi(argv[1]) : 50, 0, 100);
   std::printf(
       "memcached-style cache, 4 threads, %d%% GET / %d%% SET\n"
       "lru=global: every SET crosses the global LRU lock (paper shape)\n"
       "lru=per_shard: segmented LRU, SETs only touch striped bucket locks\n\n",
       get_percent, 100 - get_percent);
-  std::printf("%-10s %-10s %15s %12s\n", "lock", "lru", "ops/second", "evictions");
-  struct Mode {
-    const char* scenario;
-    const char* label;
-  };
-  for (const char* lock : {"MUTEX", "TICKET", "MUTEXEE"}) {
-    for (const Mode& mode : {Mode{"cache/set-heavy", "global"},
-                             Mode{"cache/set-heavy-seglru", "per_shard"}}) {
-      ScenarioConfig config;
-      config.lock_name = lock;
-      config.threads = 4;
-      config.read_percent = get_percent;  // GETs are the cache's reads
-      config.record_latency = false;      // match the pre-API driver's loop
-      const ScenarioResult r = RunScenarioByName(mode.scenario, config);
-      std::printf("%-10s %-10s %15.0f %12.0f\n", lock, mode.label, r.ops_per_s,
-                  r.MetricOr("evictions"));
-    }
-  }
+  ScenarioConfig base;
+  base.threads = 4;
+  base.read_percent = get_percent;  // GETs are the cache's reads
+  base.record_latency = false;      // match the pre-API driver's loop
+  RunLockTable({"MUTEX", "TICKET", "MUTEXEE"},
+               {{"cache/set-heavy", "global"}, {"cache/set-heavy-seglru", "per_shard"}}, base,
+               {{"evictions", [](const ScenarioResult& r) { return r.MetricOr("evictions"); }}});
   return 0;
 }

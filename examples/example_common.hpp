@@ -1,0 +1,76 @@
+// Shared plumbing for the per-lock example tables.
+//
+// Every pre-NetServe example (cache_server, kvstore_app) hand-rolled the
+// same loop: for each lock, tweak a ScenarioConfig, run a registered
+// scenario, print one fixed-width row. RunLockTable is that loop, once --
+// the examples keep only their workload choice and their extra columns.
+#ifndef EXAMPLES_EXAMPLE_COMMON_HPP_
+#define EXAMPLES_EXAMPLE_COMMON_HPP_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/systems/workload_api.hpp"
+
+namespace lockin {
+
+// One scenario variant shown in the table: the registered scenario name
+// plus the label printed in the "mode" column (empty = no mode column).
+struct ExampleRun {
+  const char* scenario;
+  const char* label;
+};
+
+// An extra numeric column pulled from a finished run.
+struct ExampleColumn {
+  const char* heading;
+  double (*value)(const ScenarioResult& result);
+};
+
+// Runs every lock x run combination of `base` and prints:
+//   lock [mode] ops/second [extra columns...]
+// `check` (optional) can veto a result -- RunLockTable then returns false
+// immediately (after the check printed its own diagnostic).
+inline bool RunLockTable(const std::vector<const char*>& locks,
+                         const std::vector<ExampleRun>& runs, const ScenarioConfig& base,
+                         const std::vector<ExampleColumn>& extra = {},
+                         bool (*check)(const ScenarioResult&, const char* lock) = nullptr) {
+  bool with_mode = false;
+  for (const ExampleRun& run : runs) {
+    with_mode = with_mode || (run.label != nullptr && run.label[0] != '\0');
+  }
+  std::printf("%-10s ", "lock");
+  if (with_mode) {
+    std::printf("%-10s ", "mode");
+  }
+  std::printf("%15s", "ops/second");
+  for (const ExampleColumn& column : extra) {
+    std::printf(" %12s", column.heading);
+  }
+  std::printf("\n");
+  for (const char* lock : locks) {
+    for (const ExampleRun& run : runs) {
+      ScenarioConfig config = base;
+      config.lock_name = lock;
+      const ScenarioResult result = RunScenarioByName(run.scenario, config);
+      if (check != nullptr && !check(result, lock)) {
+        return false;
+      }
+      std::printf("%-10s ", lock);
+      if (with_mode) {
+        std::printf("%-10s ", run.label);
+      }
+      std::printf("%15.0f", result.ops_per_s);
+      for (const ExampleColumn& column : extra) {
+        std::printf(" %12.0f", column.value(result));
+      }
+      std::printf("\n");
+    }
+  }
+  return true;
+}
+
+}  // namespace lockin
+
+#endif  // EXAMPLES_EXAMPLE_COMMON_HPP_

@@ -3,30 +3,34 @@
 // miniature. A thin wrapper over the unified scenario API: runs the
 // registered "kvstore/WT-RD" scenario under several locks and reports
 // per-lock throughput. (scenario_runner generalizes this to every scenario
-// and every lock.)
+// and every lock; examples/lock_server + examples/loadgen are the
+// networked successors, serving the same store over a RESP socket.)
 //
 //   $ ./kvstore_app [ops_per_thread]
 #include <cstdio>
 #include <cstdlib>
 
+#include "examples/example_common.hpp"
 #include "src/systems/workload_api.hpp"
 
 int main(int argc, char** argv) {
   using namespace lockin;
   const int ops = argc > 1 ? std::atoi(argv[1]) : 50000;
   std::printf("embedded KV store (scenario kvstore/WT-RD), 4 threads, %d ops/thread\n\n", ops);
-  std::printf("%-10s %15s\n", "lock", "ops/second");
-  for (const char* lock : {"MUTEX", "TICKET", "MUTEXEE", "MCS", "ADAPTIVE"}) {
-    ScenarioConfig config;
-    config.lock_name = lock;
-    config.threads = 4;
-    config.ops_per_thread = ops;
-    const ScenarioResult result = RunScenarioByName("kvstore/WT-RD", config);
-    if (result.MetricOr("invariants_ok") == 0) {
-      std::fprintf(stderr, "B+-tree invariant violation under %s!\n", lock);
-      return 1;
-    }
-    std::printf("%-10s %15.0f\n", lock, result.ops_per_s);
+  ScenarioConfig base;
+  base.threads = 4;
+  base.ops_per_thread = ops;
+  const bool ok = RunLockTable(
+      {"MUTEX", "TICKET", "MUTEXEE", "MCS", "ADAPTIVE"}, {{"kvstore/WT-RD", ""}}, base, {},
+      [](const ScenarioResult& result, const char* lock) {
+        if (result.MetricOr("invariants_ok") == 0) {
+          std::fprintf(stderr, "B+-tree invariant violation under %s!\n", lock);
+          return false;
+        }
+        return true;
+      });
+  if (!ok) {
+    return 1;
   }
   std::printf("\n(absolute numbers depend on this host; the paper's Figure 13 ratios come\n"
               "from the simulated Xeon: see bench/fig13_systems_throughput)\n");

@@ -1,0 +1,58 @@
+// NetServe load generator: a pipelined RESP client for lock_server.
+//
+// Open-loop by construction: every connection keeps `pipeline` requests in
+// flight (saturation mode) or emits on a fixed schedule (rate mode), so a
+// slow server grows queueing delay instead of silently throttling the
+// offered load -- the coordinated-omission-safe way to measure a server
+// whose locks are the bottleneck. Latency is measured per request from
+// enqueue to reply parse, pipelining included.
+//
+// This lives in src/ rather than examples/ so the native bench can run
+// client and server in one process (bench/bench_native_perf.cpp) while
+// examples/loadgen.cpp wraps the same engine behind a CLI.
+#ifndef SRC_NET_LOADGEN_HPP_
+#define SRC_NET_LOADGEN_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "src/stats/histogram.hpp"
+
+namespace lockin {
+
+struct LoadgenOptions {
+  std::uint16_t port = 0;
+  std::size_t connections = 4;
+  std::size_t pipeline = 8;       // in-flight requests per connection
+  std::uint64_t duration_ms = 2000;
+  int get_percent = 80;           // GET share; the rest are SETs
+  std::uint64_t key_space = 10000;
+  std::size_t value_bytes = 64;
+  std::uint64_t rate_per_s = 0;   // 0 = saturation; else fixed offered rate
+  std::uint64_t seed = 42;
+  std::size_t threads = 1;        // client threads; connections are striped
+};
+
+struct LoadgenResult {
+  std::uint64_t requests = 0;   // replies received (completed requests)
+  std::uint64_t busy = 0;       // -BUSY replies (deadline sheds)
+  std::uint64_t errors = 0;     // -ERR replies + connection failures
+  std::uint64_t not_found = 0;  // nil GETs
+  double seconds = 0;
+  LatencyHistogram latency_ns;
+
+  double RequestsPerS() const { return seconds > 0 ? requests / seconds : 0; }
+
+  // {"requests": ..., "requests_per_s": ..., "p50_us": ..., ...} via the
+  // shared platform JSON helpers.
+  std::string ToJson() const;
+};
+
+// Runs the load against 127.0.0.1:options.port and blocks until the
+// duration elapses and in-flight replies drain. Thread-safe to call
+// concurrently with a LockServer running in the same process.
+LoadgenResult RunLoadgen(const LoadgenOptions& options);
+
+}  // namespace lockin
+
+#endif  // SRC_NET_LOADGEN_HPP_
